@@ -1,0 +1,1 @@
+bench/ablation.ml: Access Common Driver Exp_config List Printf Prune_stats Runner Siro_engine State Table

@@ -1,0 +1,1 @@
+bench/common.ml: Float Inrow_engine List Offrow_engine Printf Runner Schema Siro_engine Sys Table

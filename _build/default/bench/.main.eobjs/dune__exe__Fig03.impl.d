@@ -1,0 +1,1 @@
+bench/fig03.ml: Access Common Exp_config Histogram List Printf Runner Table

@@ -1,0 +1,1 @@
+bench/fig14.ml: Access Common Exp_config List Printf Runner String Table

@@ -1,0 +1,1 @@
+bench/fig15.ml: Access Classifier Clock Common Driver Exp_config List Printf Prune_stats Runner Schema Siro_engine State Table Vclass

@@ -1,0 +1,1 @@
+bench/fig16.ml: Access Classifier Clock Common Driver Exp_config List Printf Runner Schema Siro_engine State Stats Table Vclass Version_store

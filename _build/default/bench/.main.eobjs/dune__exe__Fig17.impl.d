@@ -1,0 +1,1 @@
+bench/fig17.ml: Access Common Exp_config List Runner Table

@@ -1,0 +1,1 @@
+bench/fig18.ml: Access Common Exp_config List Runner Schema Table

@@ -1,0 +1,1 @@
+bench/fig19.ml: Access Common Exp_config List Runner Siro_engine State Table

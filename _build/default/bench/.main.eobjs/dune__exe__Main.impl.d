@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Common Fig03 Fig13 Fig14 Fig15 Fig16 Fig17 Fig18 Fig19 List Micro Printf Recovery String Sys Unix

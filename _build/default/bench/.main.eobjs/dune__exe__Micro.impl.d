@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Chain Classifier Collab Common Hashtbl Instance List Measure Mvcc_search Printf Prune Read_view Rng Staged Table Test Time Toolkit Version Zipf Zone_set

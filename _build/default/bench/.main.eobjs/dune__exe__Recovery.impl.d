@@ -1,0 +1,1 @@
+bench/recovery.ml: Clock Common Engine Format List Schema Table

@@ -1,0 +1,93 @@
+(* Ablation study (beyond the paper's figures, validating the design
+   choices DESIGN.md calls out): what does each vDriver ingredient buy?
+
+   - `Dead zones -> oldest-active`: replace Theorem 3.5 with the classic
+     criterion. Every version younger than the LLT becomes unreclaimable,
+     so the 1st prune stops working the moment an LLT appears.
+   - `Three-way -> single class`: store every surviving version in one
+     cluster. LLT-pinned versions contaminate every segment and suspend
+     vCutter entirely until the LLT ends. *)
+
+let variants =
+  [
+    ("full-vdriver", `Three_way, `Dead_zones);
+    ("no-classification", `Single_class, `Dead_zones);
+    ("oldest-active-gc", `Three_way, `Oldest_active);
+    ("neither", `Single_class, `Oldest_active);
+  ]
+
+let cfg =
+  {
+    Exp_config.default with
+    Exp_config.name = "ablation";
+    duration_s = Common.sec 20.;
+    workers = 16;
+    schema = Common.small_schema;
+    phases = [ { Exp_config.at_s = 0.; pattern = Access.Zipfian 0.9 } ];
+    llts =
+      [ { Exp_config.start_s = Common.sec 4.; duration_s = Common.sec 13.; count = 4 } ];
+  }
+
+let gc_comparison () =
+  (* Related-work comparison (§2.2): stock purge vs HANA/Steam-style
+     interval GC vs vDriver, all under the same LLT scenario. The
+     interval collector is as *complete* as vDriver's pruning but pays
+     chain-scan I/O through the shared buffer pool. *)
+  Printf.printf "\nRelated-work GC comparison (stock purge / interval scan / vDriver):\n";
+  let rows =
+    List.map
+      (fun name ->
+        let r = Runner.run ~engine:(Common.make_engine name) cfg in
+        [
+          name;
+          Common.fmt_tput (Common.window r ~lo:1. ~hi:3.);
+          Common.fmt_tput (Common.window r ~lo:8. ~hi:16.);
+          Table.fmt_bytes (Runner.peak_space r);
+          string_of_int (Runner.peak_chain r);
+        ])
+      [ "mysql"; "mysql-interval-gc"; "mysql-vdriver" ]
+  in
+  Table.print
+    ~header:[ "engine"; "tput-before"; "tput-during-LLT"; "peak-space"; "peak-chain" ]
+    rows;
+  print_endline
+    "note: at this scale the whole working set fits in the buffer pool, so\n\
+     the interval scan's chain reads stay cheap and it reclaims as well as\n\
+     vDriver; its cost is structural — every pass re-reads every chain\n\
+     (here ~100 full-table scans per simulated second), where vDriver only\n\
+     inspects versions as they relocate. The remaining throughput gap is\n\
+     the §4.2 undo-header/global-mutex work that vDriver eliminates."
+
+let run () =
+  Common.section ~figure:"Ablation" ~title:"Which ingredient buys what (not in the paper)"
+    ~expectation:
+      "dead-zone pruning is what keeps reclamation going during the LLT \
+       (oldest-active stops pruning entirely); classification is what keeps \
+       the version store small (a single class strands dead versions behind \
+       pinned ones until the LLT ends); HANA/Steam-style interval GC \
+       reclaims as completely as vDriver but pays chain-scan I/O, the \
+       reason eager GC does not transplant to disk-based engines (§2.2)";
+  let rows =
+    List.map
+      (fun (name, classification, pruning) ->
+        let driver_config =
+          { State.default_config with State.classification; pruning }
+        in
+        let engine schema = Siro_engine.create ~driver_config ~flavor:`Mysql schema in
+        let r = Runner.run ~engine cfg in
+        let stats = match r.Runner.driver with Some d -> Driver.stats d | None -> assert false in
+        let total = Prune_stats.relocated stats in
+        let pruned = Prune_stats.prune1_total stats + Prune_stats.prune2_total stats in
+        [
+          name;
+          Common.fmt_tput (Common.window r ~lo:8. ~hi:16.);
+          Table.fmt_bytes (Runner.peak_space r);
+          string_of_int (Runner.peak_chain r);
+          Printf.sprintf "%.1f%%" (100. *. float_of_int pruned /. float_of_int (max 1 total));
+        ])
+      variants
+  in
+  Table.print
+    ~header:[ "variant"; "tput-during-LLT"; "peak-space"; "peak-chain"; "pruned%" ]
+    rows;
+  gc_comparison ()

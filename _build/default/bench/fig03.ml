@@ -1,0 +1,50 @@
+(* Figure 3: the motivating experiment. Vanilla PostgreSQL and MySQL
+   running a uniform OLTP mix; a group of LLTs joins and throughput
+   collapses until it ends. *)
+
+let cfg ename =
+  {
+    Exp_config.default with
+    Exp_config.name = "fig3-" ^ ename;
+    duration_s = Common.sec 20.;
+    workers = 16;
+    schema = Common.small_schema;
+    phases = [ { Exp_config.at_s = 0.; pattern = Access.Uniform } ];
+    llts =
+      [ { Exp_config.start_s = Common.sec 5.; duration_s = Common.sec 12.; count = 4 } ];
+  }
+
+let run () =
+  Common.section ~figure:"Figure 3" ~title:"Effects of a long-lived transaction (vanilla engines)"
+    ~expectation:
+      "both vanilla engines collapse sharply while the LLT group lives \
+       (PostgreSQL from chain traversal + page splits, MySQL from latch \
+       duration + undo I/O) and recover once it ends";
+  let runs =
+    List.map
+      (fun ename -> (ename, Runner.run ~engine:(Common.make_engine ename) (cfg ename)))
+      [ "pg"; "mysql" ]
+  in
+  print_endline "Throughput (commits/s):";
+  Common.print_multi_series ~col_name:(fun n -> n) ~every:1.0 runs (fun r -> r.Runner.throughput);
+  print_endline "";
+  let rows =
+    List.map
+      (fun (name, r) ->
+        let before = Common.window r ~lo:1. ~hi:4. in
+        let during = Common.window r ~lo:8. ~hi:16. in
+        [
+          name;
+          Common.fmt_tput before;
+          Common.fmt_tput during;
+          Common.fmt_ratio before during;
+          Table.fmt_bytes (Runner.peak_space r);
+          string_of_int (Runner.peak_chain r);
+          Printf.sprintf "%d us" (Histogram.percentile r.Runner.latency_us 0.99);
+        ])
+      runs
+  in
+  Table.print
+    ~header:
+      [ "engine"; "tput-before"; "tput-during-LLT"; "collapse"; "peak-space"; "peak-chain"; "p99-latency" ]
+    rows

@@ -1,0 +1,54 @@
+(* Figure 14: CDF of version chain length under a highly-skewed workload
+   with an LLT still alive when the snapshot is taken. *)
+
+let engines = [ "mysql"; "mysql-vdriver"; "pg"; "pg-vdriver" ]
+
+let cfg ename =
+  {
+    Exp_config.default with
+    Exp_config.name = "fig14-" ^ ename;
+    duration_s = Common.sec 20.;
+    workers = 16;
+    schema = Common.small_schema;
+    phases = [ { Exp_config.at_s = 0.; pattern = Access.Zipfian 1.2 } ];
+    (* The LLT outlives the run so chains are measured while pinned. *)
+    llts = [ { Exp_config.start_s = Common.sec 4.; duration_s = Common.sec 100.; count = 1 } ];
+  }
+
+let percentiles = [ 0.5; 0.9; 0.99; 0.999; 1.0 ]
+
+let run () =
+  Common.section ~figure:"Figure 14" ~title:"CDF of version chain length (skewed, LLT alive)"
+    ~expectation:
+      "vDriver keeps almost every record's chain short (max ~tens) while the \
+       vanilla engines show a wide spectrum reaching thousands";
+  let runs = List.map (fun e -> (e, Runner.run ~engine:(Common.make_engine e) (cfg e))) engines in
+  let pct_of cdf p =
+    let rec find = function
+      | [] -> 0
+      | (v, f) :: rest -> if f >= p then v else find rest
+    in
+    find cdf
+  in
+  let rows =
+    List.map
+      (fun (name, r) ->
+        name
+        :: List.map (fun p -> string_of_int (pct_of r.Runner.chain_cdf p)) percentiles)
+      runs
+  in
+  Table.print ~header:([ "engine" ] @ List.map (fun p -> Printf.sprintf "p%g" (p *. 100.)) percentiles) rows;
+  print_endline "\nCDF points (chain length -> cumulative fraction of records):";
+  List.iter
+    (fun (name, r) ->
+      let pts =
+        (* Thin the CDF for printing: keep ~12 representative points. *)
+        let all = r.Runner.chain_cdf in
+        let n = List.length all in
+        let step = max 1 (n / 12) in
+        List.filteri (fun i _ -> i mod step = 0 || i = n - 1) all
+      in
+      Printf.printf "  %-16s %s\n" name
+        (String.concat " "
+           (List.map (fun (v, f) -> Printf.sprintf "%d:%.3f" v f) pts)))
+    runs

@@ -1,0 +1,43 @@
+(* Figure 17: throughput behavior on multicores. The paper pins mysqld
+   to 24/48/96 cores; we vary simulated worker counts 8/16/32 (the
+   simulator's cores). *)
+
+let worker_counts = [ 8; 16; 32 ]
+
+let cfg ~workers ename =
+  {
+    Exp_config.default with
+    Exp_config.name = "fig17-" ^ ename;
+    duration_s = Common.sec 20.;
+    workers;
+    schema = Common.small_schema;
+    phases = [ { Exp_config.at_s = 0.; pattern = Access.Zipfian 1.1 } ];
+    llts =
+      [ { Exp_config.start_s = Common.sec 5.; duration_s = Common.sec 12.; count = 4 } ];
+  }
+
+let run () =
+  Common.section ~figure:"Figure 17" ~title:"Throughput behavior on multicores"
+    ~expectation:
+      "the vanilla engine suffers the same collapse at every core count \
+       (more cores do not help against chain-induced latch convoys) while \
+       vDriver's throughput scales with cores and stays flat under the LLTs";
+  let rows =
+    List.concat_map
+      (fun workers ->
+        List.map
+          (fun ename ->
+            let r = Runner.run ~engine:(Common.make_engine ename) (cfg ~workers ename) in
+            let before = Common.window r ~lo:1. ~hi:4. in
+            let during = Common.window r ~lo:8. ~hi:16. in
+            [
+              string_of_int workers;
+              ename;
+              Common.fmt_tput before;
+              Common.fmt_tput during;
+              Common.fmt_ratio before during;
+            ])
+          [ "mysql"; "mysql-vdriver" ])
+      worker_counts
+  in
+  Table.print ~header:[ "cores"; "engine"; "tput-before"; "tput-during-LLT"; "collapse" ] rows

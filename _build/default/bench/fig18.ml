@@ -1,0 +1,53 @@
+(* Figure 18: effect of record size on PostgreSQL-flavor engines. Bigger
+   records overflow in-row pages faster, so vanilla PostgreSQL splits
+   more and collapses harder; SIRO keeps one version in-row and is
+   insensitive. *)
+
+let sizes = [ 128; 1024 ]
+
+let cfg ~record_bytes ename =
+  {
+    Exp_config.default with
+    Exp_config.name = "fig18-" ^ ename;
+    duration_s = Common.sec 20.;
+    workers = 16;
+    schema = { Common.small_schema with Schema.record_bytes };
+    phases = [ { Exp_config.at_s = 0.; pattern = Access.Zipfian 1.1 } ];
+    llts =
+      [ { Exp_config.start_s = Common.sec 5.; duration_s = Common.sec 12.; count = 4 } ];
+  }
+
+let run () =
+  Common.section ~figure:"Figure 18" ~title:"Effect of record size (PostgreSQL flavor)"
+    ~expectation:
+      "vanilla PostgreSQL gets worse as records grow (pages overflow and \
+       split sooner); PostgreSQL+vDriver barely changes with record size";
+  let rows =
+    List.concat_map
+      (fun record_bytes ->
+        List.map
+          (fun ename ->
+            let r =
+              Runner.run ~engine:(Common.make_engine ename) (cfg ~record_bytes ename)
+            in
+            let before = Common.window r ~lo:1. ~hi:4. in
+            let during = Common.window r ~lo:8. ~hi:16. in
+            let splits =
+              match List.rev r.Runner.splits with (_, v) :: _ -> int_of_float v | [] -> 0
+            in
+            [
+              string_of_int record_bytes;
+              ename;
+              Common.fmt_tput before;
+              Common.fmt_tput during;
+              Common.fmt_ratio before during;
+              string_of_int splits;
+              Table.fmt_bytes (Runner.peak_space r);
+            ])
+          [ "pg"; "pg-vdriver" ])
+      sizes
+  in
+  Table.print
+    ~header:
+      [ "record-bytes"; "engine"; "tput-before"; "tput-during-LLT"; "collapse"; "splits"; "peak-space" ]
+    rows

@@ -1,0 +1,48 @@
+(* Figure 19: effect of the version-segment size on the maximum valid
+   chain length. Unfilled segments cannot be cleaned (no complete
+   descriptor), so large segments let hot records accumulate long
+   chains until the segment finally fills. *)
+
+let sizes = [ 64 * 1024; 256 * 1024; 1024 * 1024; 4 * 1024 * 1024; 16 * 1024 * 1024 ]
+
+let cfg ~pattern =
+  {
+    Exp_config.default with
+    Exp_config.name = "fig19";
+    duration_s = Common.sec 20.;
+    workers = 16;
+    schema = Common.small_schema;
+    phases = [ { Exp_config.at_s = 0.; pattern } ];
+    llts =
+      [ { Exp_config.start_s = Common.sec 4.; duration_s = Common.sec 13.; count = 4 } ];
+  }
+
+let run () =
+  Common.section ~figure:"Figure 19" ~title:"Effect of segment size on max chain length"
+    ~expectation:
+      "max chain length stays controlled under uniform access for all sizes, \
+       but under high skew it grows with the segment size, exceeding 10^3 \
+       for 16 MiB segments";
+  let rows =
+    List.concat_map
+      (fun segment_bytes ->
+        List.map
+          (fun (plabel, pattern) ->
+            let driver_config = { State.default_config with State.segment_bytes } in
+            let engine schema =
+              Siro_engine.create ~driver_config ~flavor:`Mysql schema
+            in
+            let r = Runner.run ~engine (cfg ~pattern) in
+            [
+              Table.fmt_bytes segment_bytes;
+              plabel;
+              string_of_int (Runner.peak_chain r);
+              Common.fmt_tput (Common.window r ~lo:8. ~hi:16.);
+              Table.fmt_bytes (Runner.peak_space r);
+            ])
+          [ ("uniform", Access.Uniform); ("zipf1.2", Access.Zipfian 1.2) ])
+      sizes
+  in
+  Table.print
+    ~header:[ "segment-size"; "access"; "peak-max-chain"; "tput-during-LLT"; "peak-space" ]
+    rows

@@ -1,0 +1,46 @@
+(* Benchmark harness entry point: regenerates every figure of the
+   paper's evaluation section (§5) plus bechamel micro-benchmarks.
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- fig13 fig15
+     REPRO_SCALE=0.5 dune exec bench/main.exe   # halve all durations
+
+   Table 1 of the paper is notation only; Figures 1/2/4-12 are design
+   illustrations. The evaluation artifacts are Figures 3 and 13-19. *)
+
+let all : (string * (unit -> unit)) list =
+  [
+    ("fig3", Fig03.run);
+    ("fig13", Fig13.run);
+    ("fig14", Fig14.run);
+    ("fig15", Fig15.run);
+    ("fig16", Fig16.run);
+    ("fig17", Fig17.run);
+    ("fig18", Fig18.run);
+    ("fig19", Fig19.run);
+    ("ablation", Ablation.run);
+    ("recovery", Recovery.run);
+    ("micro", Micro.run);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst all
+  in
+  Printf.printf
+    "vDriver reproduction benchmarks (REPRO_SCALE=%.2f)\n\
+     Engines: postgres-vanilla | mysql-vanilla | postgres-vdriver | mysql-vdriver\n"
+    Common.scale;
+  List.iter
+    (fun name ->
+      match List.assoc_opt name all with
+      | Some f ->
+          let t0 = Unix.gettimeofday () in
+          f ();
+          Printf.printf "[%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t0)
+      | None ->
+          Printf.eprintf "unknown figure %S (known: %s)\n" name
+            (String.concat ", " (List.map fst all)))
+    requested

@@ -1,0 +1,75 @@
+(* Recovery-time comparison (§3.5 / §4.2 — beyond the paper's figures).
+
+   Build committed history, leave a batch of loser transactions in
+   flight, crash, and compare simulated recovery work: stock MySQL must
+   scan rollback-segment undo headers to identify losers before rolling
+   them back; PostgreSQL identifies losers directly through pg_xact; the
+   SIRO engines additionally roll back by bit toggles and drop all
+   off-row state wholesale — near-instant recovery. *)
+
+let schema = { Schema.default with Schema.tables = 4; rows_per_table = 500 }
+
+let run_engine name =
+  let eng = Common.make_engine name schema in
+  let now = ref 0 in
+  let tick () =
+    now := !now + Clock.us 100;
+    !now
+  in
+  (* Committed history: fills undo space / heap versions. Keep a reader
+     alive so vanilla GC cannot reclaim it before the crash. *)
+  let pin, _ = eng.Engine.begin_txn ~now:(tick ()) in
+  for i = 1 to 4_000 do
+    let txn, _ = eng.Engine.begin_txn ~now:(tick ()) in
+    (match eng.Engine.write txn ~rid:(i mod Schema.records schema) ~payload:i ~now:(tick ()) with
+    | Engine.Committed_path _ -> ()
+    | Engine.Conflict _ -> ());
+    ignore (eng.Engine.commit txn ~now:(tick ()))
+  done;
+  ignore pin;
+  (* Losers: 16 transactions, 8 writes each, all in flight at the crash. *)
+  let losers =
+    List.init 16 (fun i ->
+        let txn, _ = eng.Engine.begin_txn ~now:(tick ()) in
+        for k = 0 to 7 do
+          match
+            eng.Engine.write txn ~rid:(((i * 31) + (k * 7)) mod Schema.records schema)
+              ~payload:(-1) ~now:(tick ())
+          with
+          | Engine.Committed_path _ | Engine.Conflict _ -> ()
+        done;
+        txn)
+  in
+  ignore losers;
+  let space_before = (eng.Engine.sample ()).Engine.version_bytes in
+  let recovery = eng.Engine.crash () in
+  (* Correctness: no -1 payload survives. *)
+  let probe, _ = eng.Engine.begin_txn ~now:(tick ()) in
+  let clean = ref true in
+  for rid = 0 to Schema.records schema - 1 do
+    let payload, _ = eng.Engine.read probe ~rid ~now:(tick ()) in
+    if payload = -1 then clean := false
+  done;
+  ignore (eng.Engine.commit probe ~now:(tick ()));
+  (name, recovery, space_before, !clean)
+
+let run () =
+  Common.section ~figure:"Recovery" ~title:"Crash-recovery work by engine (§3.5, §4.2)"
+    ~expectation:
+      "MySQL pays an undo-header scan proportional to live undo records to \
+       identify losers; PostgreSQL consults the commit log directly; the \
+       SIRO engines recover near-instantly (bit toggles, off-row state \
+       dropped wholesale)";
+  let rows =
+    List.map
+      (fun name ->
+        let name, recovery, space, clean = run_engine name in
+        [
+          name;
+          Format.asprintf "%a" Clock.pp recovery;
+          Table.fmt_bytes space;
+          (if clean then "yes" else "NO");
+        ])
+      [ "pg"; "mysql"; "pg-vdriver"; "mysql-vdriver" ]
+  in
+  Table.print ~header:[ "engine"; "recovery-work"; "version-space-at-crash"; "losers-undone" ] rows

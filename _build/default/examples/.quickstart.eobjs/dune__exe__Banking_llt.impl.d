@@ -1,0 +1,1 @@
+examples/banking_llt.ml: Access Exp_config List Offrow_engine Printf Runner Schema Siro_engine Table

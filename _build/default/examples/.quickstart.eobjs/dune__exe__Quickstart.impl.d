@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Classifier Clock Driver Format Prune_stats Siro State Txn Txn_manager Vclass Vcutter Version Vsorter

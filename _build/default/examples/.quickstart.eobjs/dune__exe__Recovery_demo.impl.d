@@ -1,0 +1,1 @@
+examples/recovery_demo.ml: Clock Driver Engine Format List Printf Schema Siro_engine

@@ -1,0 +1,1 @@
+examples/tuning.ml: Access Classifier Clock Driver Exp_config List Option Printf Prune_stats Runner Schema Siro_engine State Table Vclass

@@ -1,0 +1,67 @@
+(* Banking scenario: an OLTP ledger (balance transfers) that must keep
+   running while a long compliance report scans historical state — the
+   workload the paper's introduction motivates. We run the same scenario
+   on vanilla MySQL-style versioning and on the vDriver engine and
+   compare throughput and version-space damage.
+
+   Run with: dune exec examples/banking_llt.exe *)
+
+let scenario engine_name =
+  let cfg =
+    {
+      Exp_config.default with
+      Exp_config.name = "banking-" ^ engine_name;
+      duration_s = 12.;
+      workers = 8;
+      reads_per_txn = 2;
+      writes_per_txn = 2 (* debit one account, credit another *);
+      schema =
+        { Schema.default with Schema.tables = 4; rows_per_table = 1000; record_bytes = 128 };
+      phases = [ { Exp_config.at_s = 0.; pattern = Access.Zipfian 0.9 } ];
+      (* The compliance report: one transaction reading for 8 seconds. *)
+      llts = [ { Exp_config.start_s = 2.; duration_s = 8.; count = 1 } ];
+    }
+  in
+  let engine schema =
+    match engine_name with
+    | "vanilla" -> Offrow_engine.create schema
+    | _ -> Siro_engine.create ~flavor:`Mysql schema
+  in
+  Runner.run ~engine cfg
+
+let () =
+  print_endline "== Banking ledger under a long compliance report ==";
+  print_endline "8 tellers transfer money continuously; at t=2s an auditor";
+  print_endline "opens one repeatable-read report that runs for 8 seconds.\n";
+  let vanilla = scenario "vanilla" in
+  let vdriver = scenario "vdriver" in
+  let row name (r : Runner.result) =
+    let before = Runner.avg_throughput r ~between:(0.5, 1.5) in
+    let during = Runner.avg_throughput r ~between:(4., 9.) in
+    [
+      name;
+      Printf.sprintf "%.0f" before;
+      Printf.sprintf "%.0f" during;
+      (if during > 0. then Printf.sprintf "%.0f%%" (100. *. during /. before) else "-");
+      Table.fmt_bytes (Runner.peak_space r);
+      string_of_int (Runner.peak_chain r);
+    ]
+  in
+  Table.print
+    ~header:
+      [ "engine"; "transfers/s"; "transfers/s (report)"; "retained"; "peak versions"; "peak chain" ]
+    [ row "mysql-vanilla" vanilla; row "mysql-vdriver" vdriver ];
+  print_endline "\nThroughput over time (transfers/s):";
+  let pick r t =
+    match List.find_opt (fun (x, _) -> int_of_float x = t) r.Runner.throughput with
+    | Some (_, v) -> Printf.sprintf "%.0f" v
+    | None -> "-"
+  in
+  Table.print
+    ~header:[ "sec"; "vanilla"; "vdriver" ]
+    (List.map
+       (fun t -> [ string_of_int t; pick vanilla t; pick vdriver t ])
+       [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11 ]);
+  print_endline "\nThe report pins versions in both engines, but vDriver's";
+  print_endline "classification isolates them in VC_llt segments so dead hot";
+  print_endline "versions keep being reclaimed and the tellers never stall."

@@ -1,0 +1,64 @@
+(* Recovery demo (§3.5, Figure 10): transaction abort is a bit toggle in
+   the SIRO page; crash recovery toggles losers back and empties all
+   off-row state (no new transaction can ever request it).
+
+   Run with: dune exec examples/recovery_demo.exe *)
+
+let () =
+  print_endline "== Undo recovery in vDriver ==\n";
+  let schema =
+    { Schema.default with Schema.tables = 1; rows_per_table = 8; record_bytes = 64 }
+  in
+  let eng = Siro_engine.create ~flavor:`Pg schema in
+  let driver = Siro_engine.driver_exn eng in
+  let now = ref 0 in
+  let tick () =
+    now := !now + Clock.us 100;
+    !now
+  in
+
+  (* Build some committed history on record 0 so off-row state exists. *)
+  let committed_write rid payload =
+    let txn, _ = eng.Engine.begin_txn ~now:(tick ()) in
+    (match eng.Engine.write txn ~rid ~payload ~now:(tick ()) with
+    | Engine.Committed_path _ -> ()
+    | Engine.Conflict _ -> failwith "unexpected conflict");
+    ignore (eng.Engine.commit txn ~now:(tick ()))
+  in
+  let read_as_new rid =
+    let txn, _ = eng.Engine.begin_txn ~now:(tick ()) in
+    let payload, _ = eng.Engine.read txn ~rid ~now:(tick ()) in
+    ignore (eng.Engine.commit txn ~now:(tick ()));
+    payload
+  in
+  List.iter (fun p -> committed_write 0 p) [ 11; 22; 33 ];
+  Printf.printf "committed history on record 0: 11, 22, 33 -> reads %d\n" (read_as_new 0);
+
+  (* 1. Transaction abort: Figure 10(a). *)
+  print_endline "\n1. Abort: T updates record 0 to 99, then rolls back.";
+  let t49, _ = eng.Engine.begin_txn ~now:(tick ()) in
+  (match eng.Engine.write t49 ~rid:0 ~payload:99 ~now:(tick ()) with
+  | Engine.Committed_path _ -> ()
+  | Engine.Conflict _ -> failwith "unexpected conflict");
+  Printf.printf "   before abort, T reads its own write: %d\n"
+    (fst (eng.Engine.read t49 ~rid:0 ~now:(tick ())));
+  ignore (eng.Engine.abort t49 ~now:(tick ()));
+  Printf.printf "   after abort, a new reader sees: %d (toggled back, off-row untouched)\n"
+    (read_as_new 0);
+
+  (* 2. Crash: Figure 10(b). A loser is mid-flight when we crash. *)
+  print_endline "\n2. Crash: a loser transaction updated record 1 to 77; power fails.";
+  committed_write 1 44;
+  let space_before = Driver.space_bytes driver in
+  let loser, _ = eng.Engine.begin_txn ~now:(tick ()) in
+  (match eng.Engine.write loser ~rid:1 ~payload:77 ~now:(tick ()) with
+  | Engine.Committed_path _ -> ()
+  | Engine.Conflict _ -> failwith "unexpected conflict");
+  Printf.printf "   off-row version space before crash: %d bytes\n" space_before;
+  let recovery_time = eng.Engine.crash () in
+  Format.printf "   restart took %a of simulated recovery work\n" Clock.pp recovery_time;
+  Printf.printf "   restart: record 1 reads %d (loser rolled back by bit toggle)\n"
+    (read_as_new 1);
+  Printf.printf "   off-row version space after restart: %d bytes (emptied wholesale)\n"
+    (Driver.space_bytes driver);
+  Printf.printf "   record 0 still reads %d — committed data survives\n" (read_as_new 0)

@@ -1,0 +1,71 @@
+(* Tuning demo: the two knobs the paper studies — segment size (§5.2.6)
+   and the LLT-identification threshold delta_llt (§5.2.3) — exercised
+   through the public configuration API.
+
+   Run with: dune exec examples/tuning.exe *)
+
+let run ~segment_bytes ~delta_llt =
+  let driver_config =
+    {
+      State.default_config with
+      State.segment_bytes;
+      classifier = Classifier.create ~delta_llt ();
+    }
+  in
+  let cfg =
+    {
+      Exp_config.default with
+      Exp_config.name = "tuning";
+      duration_s = 8.;
+      workers = 8;
+      schema = { Schema.default with Schema.tables = 4; rows_per_table = 500 };
+      phases = [ { Exp_config.at_s = 0.; pattern = Access.Zipfian 1.2 } ];
+      llts = [ { Exp_config.start_s = 1.; duration_s = 6.; count = 2 } ];
+    }
+  in
+  Runner.run ~engine:(Siro_engine.create ~driver_config ~flavor:`Mysql) cfg
+
+let () =
+  print_endline "== Tuning vDriver: segment size and delta_llt ==\n";
+  print_endline "Segment size trades management overhead against chain length";
+  print_endline "(unfilled segments cannot be cleaned — Figure 19):";
+  let rows =
+    List.map
+      (fun kib ->
+        let r = run ~segment_bytes:(kib * 1024) ~delta_llt:(Clock.ms 200) in
+        [
+          Printf.sprintf "%d KiB" kib;
+          string_of_int (Runner.peak_chain r);
+          Table.fmt_bytes (Runner.peak_space r);
+          Printf.sprintf "%.0f" (Runner.avg_throughput r ~between:(3., 6.));
+        ])
+      [ 16; 64; 256; 1024 ]
+  in
+  Table.print ~header:[ "segment"; "peak-chain"; "peak-space"; "tput(LLT)" ] rows;
+
+  print_endline "\ndelta_llt trades vulnerability-window misclassification against";
+  print_endline "false LLT positives (Figure 16):";
+  let rows =
+    List.map
+      (fun (label, delta_llt) ->
+        let r = run ~segment_bytes:(64 * 1024) ~delta_llt in
+        let d = Option.get r.Runner.driver in
+        let stats = Driver.stats d in
+        [
+          label;
+          string_of_int (Prune_stats.stored stats Vclass.Llt);
+          string_of_int (Prune_stats.stored stats Vclass.Hot);
+          Table.fmt_bytes (Runner.peak_space r);
+        ])
+      [
+        ("50ms", Clock.ms 50);
+        ("200ms", Clock.ms 200);
+        ("1s", Clock.seconds 1.);
+        ("5s (huge)", Clock.seconds 5.);
+      ]
+  in
+  Table.print
+    ~header:[ "delta_llt"; "stored-as-LLT"; "stored-as-HOT"; "peak-space" ]
+    rows;
+  print_endline "\nA huge delta_llt never identifies the LLTs, so pinned versions";
+  print_endline "land in HOT segments and suspend their cleaning until the LLT ends."

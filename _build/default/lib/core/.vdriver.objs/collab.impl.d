@@ -1,0 +1,1 @@
+lib/core/collab.ml: Atomic Domain

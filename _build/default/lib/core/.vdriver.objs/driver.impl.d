@@ -1,0 +1,1 @@
+lib/core/driver.ml: Array Buffer_pool Chain Hashtbl Llb Segment State Vcutter Vec Version_store Vsorter

@@ -1,0 +1,1 @@
+lib/core/driver.mli: Clock Histogram Prune_stats Read_view State Txn_manager Vcutter Version Version_store Vsorter

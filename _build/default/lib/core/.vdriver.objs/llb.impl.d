@@ -1,0 +1,1 @@
+lib/core/llb.ml: Chain Hashtbl Histogram

@@ -1,0 +1,1 @@
+lib/core/llb.mli: Chain Histogram

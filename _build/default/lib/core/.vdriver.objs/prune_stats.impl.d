@@ -1,0 +1,1 @@
+lib/core/prune_stats.ml: Array Format List Vclass

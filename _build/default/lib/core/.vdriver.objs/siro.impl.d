@@ -1,0 +1,1 @@
+lib/core/siro.ml: Read_view Timestamp Version

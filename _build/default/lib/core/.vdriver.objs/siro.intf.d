@@ -1,0 +1,1 @@
+lib/core/siro.mli: Clock Read_view Timestamp Version

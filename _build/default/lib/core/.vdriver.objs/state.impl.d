@@ -1,0 +1,1 @@
+lib/core/state.ml: Array Buffer_pool Classifier Clock Hashtbl Llb Prune_stats Read_view Segment Txn_manager Vclass Vec Version_store Zone_set

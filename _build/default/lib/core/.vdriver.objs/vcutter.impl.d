@@ -1,0 +1,1 @@
+lib/core/vcutter.ml: Buffer_pool Chain Collab List Llb Segment State Vec Version Version_store Zone_set

@@ -1,0 +1,1 @@
+lib/core/vcutter.mli: Clock State

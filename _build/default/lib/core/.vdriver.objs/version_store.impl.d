@@ -1,0 +1,1 @@
+lib/core/version_store.ml: Clock Segment Vclass Vec

@@ -1,0 +1,1 @@
+lib/core/version_store.mli: Clock Segment Vclass

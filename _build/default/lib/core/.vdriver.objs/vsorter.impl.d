@@ -1,0 +1,1 @@
+lib/core/vsorter.ml: Array Chain Classifier List Llb Prune Prune_stats Segment State Txn_manager Vclass Vec Version Version_store Zone_set

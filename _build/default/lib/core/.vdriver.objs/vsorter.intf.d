@@ -1,0 +1,1 @@
+lib/core/vsorter.mli: Clock State Vclass Version

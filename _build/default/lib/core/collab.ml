@@ -1,0 +1,39 @@
+(* Flag values: the "winner constant" (free) plus the two footprints and
+   the cutter's completion mark. *)
+let free = 0
+let sorter_footprint = 1
+let cutter_footprint = 2
+let cutter_done = 3
+
+type t = { flag : int Atomic.t; sorter_waits : int Atomic.t }
+
+let create () = { flag = Atomic.make free; sorter_waits = Atomic.make 0 }
+
+let sorter t ~delete ~insert =
+  if Atomic.compare_and_set t.flag free sorter_footprint then begin
+    (* vSorter won: it is delegated the whole cleaning. The footprint
+       stays — the episode is one-shot, so a late cutter must lose. *)
+    delete ();
+    insert ();
+    `Did_both
+  end
+  else begin
+    Atomic.incr t.sorter_waits;
+    (* The cutter owns the version; wait for its completion mark. *)
+    while Atomic.get t.flag <> cutter_done do
+      Domain.cpu_relax ()
+    done;
+    insert ();
+    `Inserted_after_cutter
+  end
+
+let cutter t ~delete ~fixup =
+  if Atomic.compare_and_set t.flag free cutter_footprint then begin
+    delete ();
+    fixup ();
+    Atomic.set t.flag cutter_done;
+    `Won
+  end
+  else `Lost
+
+let races_lost_by_sorter t = Atomic.get t.sorter_waits

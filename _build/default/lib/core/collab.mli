@@ -1,0 +1,39 @@
+(** Collaborative version cleaning (§3.4, Figure 9).
+
+    When vCutter wants to logically delete a version from a chain at the
+    same moment vSorter wants to insert a newer version into that chain,
+    both race on a per-chain flag with an atomic test-and-set instead of
+    a chain latch. Whoever installs its footprint first wins and is
+    responsible for deleting the dead version:
+
+    - if {b vSorter} wins it performs both tasks (delete, then insert);
+    - if {b vCutter} wins it deletes and fixes up, and vSorter —
+      discovering the cutter's footprint — spin-waits for the cutter's
+      completion mark before doing its own insertion.
+
+    The invariant is that the dead version is deleted by {e exactly} the
+    winner, never twice and never zero times. This module implements the
+    protocol over [Atomic] so that the real multi-domain tests can hammer
+    it; the discrete-event engines call it too (trivially uncontended
+    there). *)
+
+type t
+
+val create : unit -> t
+(** One [t] arbitrates one cleaning episode: a specific dead version
+    that vCutter wants to delete while an insertion into the same chain
+    may be in flight. Create a fresh instance per episode. *)
+
+val sorter : t -> delete:(unit -> unit) -> insert:(unit -> unit) -> [ `Did_both | `Inserted_after_cutter ]
+(** vSorter's side: race for the flag; run [delete] only on a win; run
+    [insert] in all cases (after the cutter finished, on a loss). The
+    flag is released afterwards so the chain can host later races. *)
+
+val cutter : t -> delete:(unit -> unit) -> fixup:(unit -> unit) -> [ `Won | `Lost ]
+(** vCutter's side: on a win, delete the dead version and fix broken
+    links, then publish completion; on a loss return immediately —
+    the sorter took over the deletion (vCutter must not block, it is
+    "battling with numerous foreground transactions"). *)
+
+val races_lost_by_sorter : t -> int
+(** How often the sorter had to spin-wait (observability for tests). *)

@@ -1,0 +1,65 @@
+type t = State.t
+
+let create = State.create
+let config (t : t) = t.State.config
+let relocate t version ~now = Vsorter.relocate t version ~now
+
+type read_source = From_vbuffer | From_store_cached | From_store_io
+
+let read (t : t) view ~rid =
+  match Llb.find t.State.llb ~rid with
+  | None -> None
+  | Some chain -> (
+      match Chain.find_visible chain view with
+      | None -> None
+      | Some (node, hops) -> (
+          match State.find_segment t node.Chain.seg_id with
+          | None -> None (* segment vanished under us: treat as miss *)
+          | Some seg ->
+              let source =
+                match seg.Segment.state with
+                | Segment.In_buffer -> From_vbuffer
+                | Segment.Hardened -> (
+                    match Buffer_pool.access t.State.store_cache ~block:seg.Segment.id with
+                    | `Hit -> From_store_cached
+                    | `Miss -> From_store_io)
+                | Segment.Cut -> assert false (* cut nodes are deleted *)
+              in
+              Some (node.Chain.version, source, hops)))
+
+let vcutter_step t ~now ~max_segments = Vcutter.step t ~now ~max_segments
+let sweep t ~now = Vsorter.sweep t ~now
+
+let maintain t ~now =
+  let swept = Vsorter.sweep t ~now in
+  let cut = Vcutter.step t ~now ~max_segments:64 in
+  (swept, cut)
+
+let flush_all t ~now = Vsorter.flush_all t ~now
+let abort_cleanup (_ : t) = ()
+
+let crash_restart (t : t) =
+  Llb.clear t.State.llb;
+  Version_store.clear t.State.store;
+  Buffer_pool.clear t.State.store_cache;
+  Vec.iter (fun seg -> State.drop_segment t seg) t.State.sealed;
+  Vec.clear t.State.sealed;
+  Array.iteri
+    (fun i seg_opt ->
+      match seg_opt with
+      | Some seg ->
+          State.drop_segment t seg;
+          t.State.open_segments.(i) <- None
+      | None -> ())
+    t.State.open_segments;
+  Hashtbl.reset t.State.seg_index
+
+let space_bytes = State.space_bytes
+let max_chain_length (t : t) = Llb.max_live_chain t.State.llb
+
+let chain_length (t : t) ~rid =
+  match Llb.find t.State.llb ~rid with Some c -> Chain.live_length c | None -> 0
+let chain_length_histogram (t : t) = Llb.chain_length_histogram t.State.llb
+let stats (t : t) = t.State.stats
+let store (t : t) = t.State.store
+let zone_refreshes (t : t) = t.State.zone_refreshes

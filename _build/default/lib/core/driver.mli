@@ -1,0 +1,67 @@
+(** vDriver — the public facade (§3.2, Figure 5).
+
+    A standalone version manager pluggable into an MVCC engine. The
+    engine keeps SIRO slots in its data pages ({!Siro}) and hands every
+    displaced [v^{r,1->2}] to {!relocate}; reads that miss the in-row
+    pair are served from the version-buffer layer through {!read};
+    background maintenance drives {!vcutter_step}.
+
+    All state lives in {!State.t}; this module wires vSorter, vCutter,
+    the LLB and the version store together and adds the read path and
+    crash/abort semantics. *)
+
+type t = State.t
+
+val create : ?config:State.config -> Txn_manager.t -> t
+val config : t -> State.config
+
+val relocate : t -> Version.t -> now:Clock.time -> Vsorter.outcome
+(** Feed one displaced in-row version to vSorter. *)
+
+type read_source =
+  | From_vbuffer  (** version found in an in-memory (filling) segment *)
+  | From_store_cached  (** hardened segment, resident in the cache *)
+  | From_store_io  (** hardened segment, fetched from stable storage *)
+
+val read : t -> Read_view.t -> rid:int -> (Version.t * read_source * int) option
+(** Off-row lookup: find the snapshot read of [rid] for the view in the
+    LLB chain. Returns the version, where it was found, and the chain
+    hops taken. [None] when the record has no visible off-row version
+    (the caller's in-row check should have succeeded, or the record was
+    never updated). *)
+
+val vcutter_step : t -> now:Clock.time -> max_segments:int -> Vcutter.result
+
+val sweep : t -> now:Clock.time -> Vsorter.sweep_result
+(** vBuffer maintenance: segment-granularity 2nd prune plus
+    flush-on-pressure (see {!Vsorter.sweep}). *)
+
+val maintain : t -> now:Clock.time -> Vsorter.sweep_result * Vcutter.result
+(** One full background pass: sweep the buffer, then run vCutter over
+    the store. *)
+
+val flush_all : t -> now:Clock.time -> Vsorter.sweep_result
+
+val abort_cleanup : t -> unit
+(** Transaction abort leaves version segments and the LLB unaffected
+    (§3.5, Figure 10a) — provided for symmetry and assertion hooks. *)
+
+val crash_restart : t -> unit
+(** Crash recovery: every off-row version predates the restart and no
+    new transaction can request it, so vBuffer, LLB and the version
+    store are emptied wholesale (§3.5, Figure 10b). *)
+
+(** {1 Observability} *)
+
+val space_bytes : t -> int
+
+val max_chain_length : t -> int
+(** Longest live off-row chain across all records. *)
+
+val chain_length : t -> rid:int -> int
+(** Live off-row versions of one record (0 if it has no chain). *)
+
+val chain_length_histogram : t -> Histogram.t
+val stats : t -> Prune_stats.t
+val store : t -> Version_store.t
+val zone_refreshes : t -> int

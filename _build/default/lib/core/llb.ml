@@ -1,0 +1,24 @@
+type t = { chains : (int, Chain.t) Hashtbl.t }
+
+let create () = { chains = Hashtbl.create 4096 }
+let find t ~rid = Hashtbl.find_opt t.chains rid
+
+let get_or_create t ~rid =
+  match Hashtbl.find_opt t.chains rid with
+  | Some c -> c
+  | None ->
+      let c = Chain.create rid in
+      Hashtbl.replace t.chains rid c;
+      c
+
+let chain_count t = Hashtbl.length t.chains
+let iter t f = Hashtbl.iter (fun _ c -> f c) t.chains
+let total_live_versions t = Hashtbl.fold (fun _ c acc -> acc + Chain.live_length c) t.chains 0
+let max_live_chain t = Hashtbl.fold (fun _ c acc -> max acc (Chain.live_length c)) t.chains 0
+
+let chain_length_histogram t =
+  let h = Histogram.create () in
+  iter t (fun c -> Histogram.add h (Chain.live_length c));
+  h
+
+let clear t = Hashtbl.reset t.chains

@@ -1,0 +1,21 @@
+(** Location lookaside buffer (§3.2–3.3).
+
+    Per-record chains of locators pointing at off-row versions, exposing
+    head and tail for two-ended traversal. Purely in-memory: cleared on
+    crash recovery together with version segments. *)
+
+type t
+
+val create : unit -> t
+val find : t -> rid:int -> Chain.t option
+val get_or_create : t -> rid:int -> Chain.t
+val chain_count : t -> int
+val iter : t -> (Chain.t -> unit) -> unit
+
+val total_live_versions : t -> int
+val max_live_chain : t -> int
+val chain_length_histogram : t -> Histogram.t
+(** Live lengths of all chains (records with no off-row version are not
+    represented; callers add the in-row contribution). *)
+
+val clear : t -> unit

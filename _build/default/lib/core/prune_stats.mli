@@ -1,0 +1,28 @@
+(** Per-class pruning breakdown — the Figure 15 instrumentation.
+
+    Every relocated version is classified (even when immediately pruned;
+    the paper does "extra work to obtain version class information just
+    for this evaluation") and then counted into exactly one bucket:
+    pruned at relocation (1st prune), pruned at segment flush
+    (2nd prune), or written to version space (no prune). *)
+
+type t
+
+val create : unit -> t
+val note_relocated : t -> unit
+val note_prune1 : t -> Vclass.t -> unit
+val note_prune2 : t -> Vclass.t -> unit
+val note_stored : t -> Vclass.t -> unit
+val relocated : t -> int
+val in_flight : t -> int
+(** Relocated versions still buffered in open segments (not yet pruned
+    or hardened). *)
+
+val prune1 : t -> Vclass.t -> int
+val prune2 : t -> Vclass.t -> int
+val stored : t -> Vclass.t -> int
+val prune1_total : t -> int
+val prune2_total : t -> int
+val stored_total : t -> int
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit

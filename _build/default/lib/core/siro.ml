@@ -1,0 +1,64 @@
+type t = {
+  rid : int;
+  slot_bytes : int;
+  mutable toggle : bool;
+  mutable current : Version.t;
+  mutable previous : Version.t option;
+}
+
+type update_result = { relocated : Version.t option }
+
+let create ~rid ~bytes ~payload ~vs ~vs_time =
+  let current =
+    Version.make ~rid ~vs ~ve:Timestamp.infinity ~vs_time ~ve_time:max_int ~bytes ~payload
+  in
+  { rid; slot_bytes = bytes; toggle = false; current; previous = None }
+
+let rid t = t.rid
+let toggle t = t.toggle
+let current t = t.current
+let previous t = t.previous
+
+let close v ~ve ~ve_time =
+  Version.make ~rid:v.Version.rid ~vs:v.Version.vs ~ve ~vs_time:v.Version.vs_time ~ve_time
+    ~bytes:v.Version.bytes ~payload:v.Version.payload
+
+let update t ~vs ~vs_time ~payload ~bytes =
+  if vs < t.current.Version.vs then invalid_arg "Siro.update: non-monotone writer";
+  if vs = t.current.Version.vs then begin
+    (* Same transaction updating its own record again: overwrite in
+       place; visibility-wise only its final value exists. *)
+    t.current <-
+      Version.make ~rid:t.rid ~vs ~ve:Timestamp.infinity ~vs_time ~ve_time:max_int ~bytes
+        ~payload;
+    { relocated = None }
+  end
+  else begin
+  let displaced = t.previous in
+  t.previous <- Some (close t.current ~ve:vs ~ve_time:vs_time);
+  t.current <-
+    Version.make ~rid:t.rid ~vs ~ve:Timestamp.infinity ~vs_time ~ve_time:max_int ~bytes ~payload;
+  t.toggle <- not t.toggle;
+  { relocated = displaced }
+  end
+
+let abort_undo t ~t_aborted =
+  if t.current.Version.vs = t_aborted then begin
+    match t.previous with
+    | Some prev ->
+        (* Reopen the predecessor's visibility: it is the most recently
+           committed version, so it becomes current again. *)
+        t.current <- close prev ~ve:Timestamp.infinity ~ve_time:max_int;
+        t.previous <- None;
+        t.toggle <- not t.toggle
+    | None -> invalid_arg "Siro.abort_undo: no predecessor to restore"
+  end
+
+let read_inrow t view =
+  let visible v =
+    Read_view.snapshot_read view ~vs:v.Version.vs ~ve:v.Version.ve
+  in
+  if visible t.current then Some t.current
+  else match t.previous with Some p when visible p -> Some p | Some _ | None -> None
+
+let inrow_bytes t = 2 * t.slot_bytes

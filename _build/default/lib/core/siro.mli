@@ -1,0 +1,54 @@
+(** SIRO-versioning page slot (§3.3, §4.1).
+
+    Each record occupies a slot holding the current version and one
+    placeholder for the single in-row old version; a toggle bit says
+    which physical half is current (no physical swap on update). When an
+    update arrives while the placeholder is occupied, the displaced
+    oldest in-row version ([v^{r,1->2}]) is relocated off-row — the
+    moment vDriver inspects it for pruning and classification.
+
+    Abort and crash undo are bit toggles (§3.5): the in-row pair always
+    contains the most recently committed version, so rolling back an
+    uncommitted update never touches off-row state. *)
+
+type t
+
+type update_result = {
+  relocated : Version.t option;
+      (** the displaced [v^{r,1->2}], to hand to vSorter; [None] while
+          the placeholder was free *)
+}
+
+val create : rid:int -> bytes:int -> payload:int -> vs:Timestamp.t -> vs_time:Clock.time -> t
+(** A freshly loaded record: current version only, placeholder empty. *)
+
+val rid : t -> int
+val toggle : t -> bool
+val current : t -> Version.t
+val previous : t -> Version.t option
+
+val update :
+  t -> vs:Timestamp.t -> vs_time:Clock.time -> payload:int -> bytes:int -> update_result
+(** Install a new (possibly uncommitted) current version created by the
+    transaction that began at [vs]. The old current becomes the in-row
+    old version (its [ve] closes at [vs]); a previously held old version
+    is returned for relocation. If [vs] equals the current version's
+    creator (the same transaction updating its record again) the value
+    is overwritten in place and nothing relocates. Raises
+    [Invalid_argument] if [vs] is older than the current creator
+    (single-writer per record is enforced by the engine's page
+    latch). *)
+
+val abort_undo : t -> t_aborted:Timestamp.t -> unit
+(** Roll back an uncommitted update by [t_aborted]: the in-row old
+    version becomes current again (its visibility reopens), the
+    placeholder empties. No-op if the current version was not created
+    by [t_aborted]. *)
+
+val read_inrow : t -> Read_view.t -> Version.t option
+(** The snapshot read for [view] if it is one of the (at most two)
+    in-row versions. *)
+
+val inrow_bytes : t -> int
+(** Bytes the slot occupies: record plus placeholder (fixed footprint —
+    SIRO pages never split). *)

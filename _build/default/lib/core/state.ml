@@ -1,0 +1,99 @@
+type config = {
+  segment_bytes : int;
+  vbuffer_bytes : int;
+  classifier : Classifier.t;
+  zone_refresh_period : Clock.time;
+  store_cache_segments : int;
+  classification : [ `Three_way | `Single_class ];
+  pruning : [ `Dead_zones | `Oldest_active ];
+}
+
+let default_config =
+  {
+    segment_bytes = 64 * 1024;
+    vbuffer_bytes = 8 * 1024 * 1024;
+    classifier = Classifier.create ();
+    zone_refresh_period = Clock.ms 2;
+    store_cache_segments = 128;
+    classification = `Three_way;
+    pruning = `Dead_zones;
+  }
+
+type t = {
+  config : config;
+  txns : Txn_manager.t;
+  llb : Llb.t;
+  store : Version_store.t;
+  store_cache : Buffer_pool.t;
+  stats : Prune_stats.t;
+  mutable zones : Zone_set.t;
+  mutable zone_views : Read_view.t list;
+  mutable llt_views : Read_view.t list;
+  mutable last_refresh : Clock.time;
+  mutable delta_llt_effective : Clock.time;
+  open_segments : Segment.t option array;
+  sealed : Segment.t Vec.t;
+  seg_index : (int, Segment.t) Hashtbl.t;
+  mutable next_seg_id : int;
+  mutable zone_refreshes : int;
+}
+
+let create ?(config = default_config) txns =
+  {
+    config;
+    txns;
+    llb = Llb.create ();
+    store = Version_store.create ();
+    store_cache =
+      Buffer_pool.create ~name:"version-store" ~capacity_blocks:config.store_cache_segments;
+    stats = Prune_stats.create ();
+    zones = Zone_set.of_txn_manager txns;
+    zone_views = [];
+    llt_views = [];
+    last_refresh = 0;
+    delta_llt_effective = config.classifier.Classifier.delta_llt;
+    open_segments = Array.make Vclass.count None;
+    sealed = Vec.create ();
+    seg_index = Hashtbl.create 256;
+    next_seg_id = 0;
+    zone_refreshes = 0;
+  }
+
+let refresh_zones t ~now =
+  t.zones <- Zone_set.of_txn_manager t.txns;
+  t.zone_views <- Txn_manager.live_views t.txns;
+  t.llt_views <- Txn_manager.llt_views t.txns ~now ~delta_llt:t.delta_llt_effective;
+  t.last_refresh <- now;
+  t.zone_refreshes <- t.zone_refreshes + 1
+
+let maybe_refresh t ~now =
+  if now - t.last_refresh >= t.config.zone_refresh_period then refresh_zones t ~now
+
+let fresh_segment t ~cls ~now =
+  let seg =
+    Segment.create ~id:t.next_seg_id ~cls ~cap_bytes:t.config.segment_bytes ~now
+  in
+  Hashtbl.replace t.seg_index seg.Segment.id seg;
+  t.next_seg_id <- t.next_seg_id + 1;
+  seg
+
+let drop_segment t seg = Hashtbl.remove t.seg_index seg.Segment.id
+let find_segment t id = Hashtbl.find_opt t.seg_index id
+
+let open_bytes t =
+  Array.fold_left
+    (fun acc -> function Some s -> acc + s.Segment.used_bytes | None -> acc)
+    0 t.open_segments
+
+let buffered_bytes t =
+  open_bytes t + Vec.fold_left (fun acc s -> acc + s.Segment.used_bytes) 0 t.sealed
+
+let pop_oldest_sealed t =
+  if Vec.is_empty t.sealed then None
+  else begin
+    let seg = Vec.get t.sealed 0 in
+    Vec.drop_front t.sealed 1;
+    Some seg
+  end
+
+let space_bytes t = buffered_bytes t + Version_store.live_bytes t.store

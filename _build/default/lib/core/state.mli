@@ -1,0 +1,73 @@
+(** Shared mutable state of a vDriver instance.
+
+    vSorter and vCutter are separate modules operating over this record;
+    [Driver] is the public facade. The zone set and the view snapshots
+    are refreshed together, periodically (§3.3's accuracy/performance
+    trade-off): staleness is conservative for pruning. *)
+
+type config = {
+  segment_bytes : int;  (** version segment size (Figure 19 knob) *)
+  vbuffer_bytes : int;  (** vBuffer budget; 8 MiB in the paper's runs *)
+  classifier : Classifier.t;
+  zone_refresh_period : Clock.time;  (** how often [Z_T] is rebuilt *)
+  store_cache_segments : int;  (** hardened segments kept hot for reads *)
+  classification : [ `Three_way | `Single_class ];
+      (** ablation: [`Single_class] stores every version in one cluster,
+          so LLT-pinned versions suspend everyone's cleaning *)
+  pruning : [ `Dead_zones | `Oldest_active ];
+      (** ablation: [`Oldest_active] replaces Theorem 3.5 with the
+          age-old criterion (reclaim only below the oldest live
+          transaction) *)
+}
+
+val default_config : config
+
+type t = {
+  config : config;
+  txns : Txn_manager.t;
+  llb : Llb.t;
+  store : Version_store.t;
+  store_cache : Buffer_pool.t;
+  stats : Prune_stats.t;
+  mutable zones : Zone_set.t;
+  mutable zone_views : Read_view.t list;
+  mutable llt_views : Read_view.t list;
+  mutable last_refresh : Clock.time;
+  mutable delta_llt_effective : Clock.time;
+  open_segments : Segment.t option array;  (** one per {!Vclass.t} *)
+  sealed : Segment.t Vec.t;  (** full segments aging in vBuffer, oldest first *)
+  seg_index : (int, Segment.t) Hashtbl.t;  (** live segments by id *)
+  mutable next_seg_id : int;
+  mutable zone_refreshes : int;
+}
+
+val create : ?config:config -> Txn_manager.t -> t
+
+val refresh_zones : t -> now:Clock.time -> unit
+(** Rebuild [zones], [zone_views] and [llt_views] from the live table. *)
+
+val maybe_refresh : t -> now:Clock.time -> unit
+(** Refresh if [zone_refresh_period] has elapsed. *)
+
+val fresh_segment : t -> cls:Vclass.t -> now:Clock.time -> Segment.t
+(** Allocate and index a new filling segment. *)
+
+val drop_segment : t -> Segment.t -> unit
+(** Remove a segment from the id index (after a cut or an all-dead
+    flush). *)
+
+val find_segment : t -> int -> Segment.t option
+
+val open_bytes : t -> int
+(** Bytes currently buffered in open (filling) segments. *)
+
+val buffered_bytes : t -> int
+(** Open plus sealed segments — total vBuffer residency, compared
+    against the [vbuffer_bytes] budget. *)
+
+val pop_oldest_sealed : t -> Segment.t option
+(** Remove and return the oldest sealed segment (flush order). *)
+
+val space_bytes : t -> int
+(** vBuffer residency plus hardened store — the version-space overhead
+    the Figure 13 space curves report. *)

@@ -1,0 +1,69 @@
+type result = {
+  segments_cut : int;
+  versions_cut : int;
+  bytes_reclaimed : int;
+  segments_scanned : int;
+}
+
+let cut_segment (st : State.t) seg ~now =
+  let versions = ref 0 in
+  Vec.iter
+    (fun node ->
+      if not node.Chain.deleted then begin
+        let rid = node.Chain.version.Version.rid in
+        match Llb.find st.State.llb ~rid with
+        | Some chain ->
+            (* Race arbitration against a concurrent vSorter insertion.
+               In the discrete-event engines the episode is uncontended
+               and the cutter always wins; the multi-domain tests are
+               where the protocol earns its keep. *)
+            let episode = Collab.create () in
+            (match
+               Collab.cutter episode
+                 ~delete:(fun () -> Chain.delete_node chain node)
+                 ~fixup:(fun () -> ())
+             with
+            | `Won -> ()
+            | `Lost -> Chain.delete_node chain node);
+            incr versions
+        | None -> assert false
+      end)
+    seg.Segment.nodes;
+  let bytes = seg.Segment.used_bytes in
+  Version_store.cut st.State.store seg ~now;
+  Buffer_pool.evict st.State.store_cache ~block:seg.Segment.id;
+  State.drop_segment st seg;
+  (!versions, bytes)
+
+let step (st : State.t) ~now ~max_segments =
+  State.refresh_zones st ~now;
+  let candidates = ref [] in
+  let scanned = ref 0 in
+  Version_store.iter_hardened st.State.store (fun seg ->
+      incr scanned;
+      let _, vmin, vmax = Segment.descriptor seg in
+      let dead =
+        match st.State.config.State.pruning with
+        | `Dead_zones -> Zone_set.covers st.State.zones ~lo:vmin ~hi:vmax
+        | `Oldest_active -> vmax < Zone_set.oldest_boundary st.State.zones
+      in
+      if dead then candidates := seg :: !candidates);
+  let candidates = List.rev !candidates in
+  let rec cut_up_to acc n = function
+    | [] -> acc
+    | _ when n = 0 -> acc
+    | seg :: rest ->
+        let versions, bytes = cut_segment st seg ~now in
+        let acc =
+          {
+            acc with
+            segments_cut = acc.segments_cut + 1;
+            versions_cut = acc.versions_cut + versions;
+            bytes_reclaimed = acc.bytes_reclaimed + bytes;
+          }
+        in
+        cut_up_to acc (n - 1) rest
+  in
+  cut_up_to
+    { segments_cut = 0; versions_cut = 0; bytes_reclaimed = 0; segments_scanned = !scanned }
+    max_segments candidates

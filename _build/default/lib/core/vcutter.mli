@@ -1,0 +1,19 @@
+(** vCutter (§3.4): version segment cleaning.
+
+    Periodically checks every hardened segment's VS descriptor
+    [\[v_min, v_max\]] against the current dead zones; a covered segment
+    is dead in its entirety and is cut. Cutting removes its versions
+    from their LLB chains through the cut-and-fix state machine
+    (holes, Fixup) and the collaborative TAS protocol against concurrent
+    vSorter insertions. *)
+
+type result = {
+  segments_cut : int;
+  versions_cut : int;
+  bytes_reclaimed : int;
+  segments_scanned : int;
+}
+
+val step : State.t -> now:Clock.time -> max_segments:int -> result
+(** One cleaning pass: refresh zones, scan descriptors, cut up to
+    [max_segments] dead segments. *)

@@ -1,0 +1,161 @@
+type outcome = Pruned_first of Vclass.t | Buffered of Vclass.t
+
+type sweep_result = {
+  segments_dropped : int;
+  versions_pruned : int;
+  segments_flushed : int;
+  versions_stored : int;
+}
+
+let empty_sweep =
+  { segments_dropped = 0; versions_pruned = 0; segments_flushed = 0; versions_stored = 0 }
+
+(* The pruning predicate under the configured policy: Theorem 3.5's
+   zone containment, or (ablation) the classic oldest-active horizon. *)
+let interval_prunable (st : State.t) ~lo ~hi =
+  match st.State.config.State.pruning with
+  | `Dead_zones -> Zone_set.prunable st.State.zones ~vs:lo ~ve:hi
+  | `Oldest_active -> hi < Zone_set.oldest_boundary st.State.zones
+
+(* Drop a sealed segment that is dead in its entirety: every version it
+   holds is removed from its chain and counted into the 2nd prune. *)
+let drop_dead_segment (st : State.t) seg =
+  let pruned = ref 0 in
+  Vec.iter
+    (fun node ->
+      if not node.Chain.deleted then begin
+        (match Llb.find st.State.llb ~rid:node.Chain.version.Version.rid with
+        | Some chain -> Chain.delete_node chain node
+        | None -> assert false);
+        Prune_stats.note_prune2 st.State.stats seg.Segment.cls;
+        incr pruned
+      end)
+    seg.Segment.nodes;
+  State.drop_segment st seg;
+  !pruned
+
+let harden_segment (st : State.t) seg ~now =
+  let stored = Segment.version_count seg in
+  Version_store.harden st.State.store seg ~now;
+  for _ = 1 to stored do
+    Prune_stats.note_stored st.State.stats seg.Segment.cls
+  done;
+  stored
+
+let sweep (st : State.t) ~now =
+  State.refresh_zones st ~now;
+  let result = ref empty_sweep in
+  (* 2nd prune: segment-granularity, against fresh zones. *)
+  Vec.filter_in_place
+    (fun seg ->
+      let _, vmin, vmax = Segment.descriptor seg in
+      if interval_prunable st ~lo:vmin ~hi:vmax then begin
+        let pruned = drop_dead_segment st seg in
+        result :=
+          {
+            !result with
+            segments_dropped = !result.segments_dropped + 1;
+            versions_pruned = !result.versions_pruned + pruned;
+          };
+        false
+      end
+      else true)
+    st.State.sealed;
+  (* Memory pressure: flush the oldest surviving sealed segments. *)
+  let rec relieve () =
+    if State.buffered_bytes st > st.State.config.State.vbuffer_bytes then begin
+      match State.pop_oldest_sealed st with
+      | Some seg ->
+          let stored = harden_segment st seg ~now in
+          result :=
+            {
+              !result with
+              segments_flushed = !result.segments_flushed + 1;
+              versions_stored = !result.versions_stored + stored;
+            };
+          relieve ()
+      | None -> ()
+    end
+  in
+  relieve ();
+  !result
+
+let seal (st : State.t) ~cls =
+  let idx = Vclass.to_index cls in
+  match st.State.open_segments.(idx) with
+  | Some seg ->
+      st.State.open_segments.(idx) <- None;
+      if Segment.is_empty seg then State.drop_segment st seg else Vec.push st.State.sealed seg
+  | None -> ()
+
+let relocate (st : State.t) version ~now =
+  State.maybe_refresh st ~now;
+  Prune_stats.note_relocated st.State.stats;
+  let cls =
+    match st.State.config.State.classification with
+    | `Single_class -> Vclass.Hot
+    | `Three_way ->
+        Classifier.classify st.State.config.State.classifier ~llt_views:st.State.llt_views
+          version
+  in
+  let vs = version.Version.vs and ve = version.Version.ve in
+  let commit_log = Txn_manager.commit_log st.State.txns in
+  let interval =
+    match Prune.commit_interval commit_log ~vs ~ve with
+    | Some i -> i
+    | None ->
+        (* SIRO guarantees both the creator and the closer of a
+           displaced version have committed (a third update cannot
+           begin before the second's owner finished). *)
+        invalid_arg "Vsorter.relocate: displaced version with uncommitted bounds"
+  in
+  let lo, hi = interval in
+  (* Pruning runs against the periodically refreshed zone snapshot
+     (§3.3's accuracy/performance trade-off). Versions whose successor
+     committed after the snapshot's C^T — rapid updates under skew —
+     legitimately pass this first stage and die at the segment prune
+     instead, exactly the Figure 15 breakdown. *)
+  if interval_prunable st ~lo ~hi then begin
+    Prune_stats.note_prune1 st.State.stats cls;
+    Pruned_first cls
+  end
+  else begin
+    let idx = Vclass.to_index cls in
+    let seg =
+      match st.State.open_segments.(idx) with
+      | Some seg when Segment.fits seg ~bytes:version.Version.bytes -> seg
+      | Some _ ->
+          seal st ~cls;
+          let seg = State.fresh_segment st ~cls ~now in
+          st.State.open_segments.(idx) <- Some seg;
+          seg
+      | None ->
+          let seg = State.fresh_segment st ~cls ~now in
+          st.State.open_segments.(idx) <- Some seg;
+          seg
+    in
+    let chain = Llb.get_or_create st.State.llb ~rid:version.Version.rid in
+    let node = Chain.push_newest chain ~prune_interval:interval version ~seg_id:seg.Segment.id in
+    Segment.add seg node;
+    Buffered cls
+  end
+
+let flush_all (st : State.t) ~now =
+  List.iter (fun cls -> seal st ~cls) Vclass.all;
+  let swept = sweep st ~now in
+  (* Harden whatever survived the final sweep. *)
+  let flushed = ref 0 and stored = ref 0 in
+  let rec drain () =
+    match State.pop_oldest_sealed st with
+    | Some seg ->
+        stored := !stored + harden_segment st seg ~now;
+        incr flushed;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  {
+    swept with
+    segments_flushed = swept.segments_flushed + !flushed;
+    versions_stored = swept.versions_stored + !stored;
+  }

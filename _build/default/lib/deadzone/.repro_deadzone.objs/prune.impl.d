@@ -1,0 +1,1 @@
+lib/deadzone/prune.ml: Commit_log List Read_view Timestamp Zone_set

@@ -1,0 +1,1 @@
+lib/deadzone/prune.mli: Commit_log Read_view Timestamp Zone_set

@@ -1,0 +1,1 @@
+lib/deadzone/zone_set.ml: Array Format List Timestamp Txn_manager

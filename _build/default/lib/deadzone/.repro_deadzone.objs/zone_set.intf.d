@@ -1,0 +1,1 @@
+lib/deadzone/zone_set.mli: Format Timestamp Txn_manager

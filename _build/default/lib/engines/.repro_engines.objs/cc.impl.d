@@ -1,0 +1,1 @@
+lib/engines/cc.ml: Commit_log Txn Txn_manager

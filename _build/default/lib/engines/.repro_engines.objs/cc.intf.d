@@ -1,0 +1,1 @@
+lib/engines/cc.mli: Timestamp Txn Txn_manager

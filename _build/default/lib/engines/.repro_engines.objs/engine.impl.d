@@ -1,0 +1,1 @@
+lib/engines/engine.ml: Clock Driver Histogram Txn Txn_manager

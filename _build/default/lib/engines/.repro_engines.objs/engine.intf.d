@@ -1,0 +1,1 @@
+lib/engines/engine.mli: Clock Driver Histogram Txn Txn_manager

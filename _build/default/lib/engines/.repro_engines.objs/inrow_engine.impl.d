@@ -1,0 +1,1 @@
+lib/engines/inrow_engine.ml: Array Buffer_pool Cc Commit_log Costs Engine Hashtbl Heap Histogram List Mvcc_search Page Resource Schema Timestamp Txn Txn_manager Vec Wal

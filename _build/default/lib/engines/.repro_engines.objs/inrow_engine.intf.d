@@ -1,0 +1,1 @@
+lib/engines/inrow_engine.mli: Costs Engine Schema

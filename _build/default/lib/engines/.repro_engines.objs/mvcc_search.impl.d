@@ -1,0 +1,1 @@
+lib/engines/mvcc_search.ml: Read_view

@@ -1,0 +1,1 @@
+lib/engines/mvcc_search.mli: Read_view Timestamp

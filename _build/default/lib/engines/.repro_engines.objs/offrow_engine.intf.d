@@ -1,0 +1,1 @@
+lib/engines/offrow_engine.mli: Costs Engine Schema

@@ -1,0 +1,1 @@
+lib/engines/siro_engine.ml: Array Buffer_pool Cc Costs Driver Engine Hashtbl Heap Histogram List Page Resource Schema Siro Timestamp Txn Txn_manager Vcutter Version Vsorter Wal

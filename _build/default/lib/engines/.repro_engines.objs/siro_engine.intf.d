@@ -1,0 +1,1 @@
+lib/engines/siro_engine.mli: Costs Driver Engine Schema State

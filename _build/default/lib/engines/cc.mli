@@ -1,0 +1,11 @@
+(** Write admission: snapshot-isolation first-committer-wins, no-wait.
+
+    A transaction may install a new version only if the record's current
+    version was committed before the writer's snapshot. Otherwise —
+    current version uncommitted, or committed after the writer began —
+    the writer must abort (the sysbench-style workload retries with a
+    fresh transaction). This also keeps every version chain ascending in
+    creator timestamp, which the engines' binary-search lookup relies
+    on. *)
+
+val write_conflict : Txn_manager.t -> Txn.t -> current_vs:Timestamp.t -> bool

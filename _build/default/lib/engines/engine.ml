@@ -1,0 +1,26 @@
+type sample = {
+  version_bytes : int;
+  redo_bytes : int;
+  max_chain : int;
+  splits : int;
+  truncations : int;
+  latch_wait : Clock.time;
+}
+
+type write_result = Committed_path of Clock.time | Conflict of Clock.time
+
+type t = {
+  name : string;
+  txns : Txn_manager.t;
+  begin_txn : now:Clock.time -> Txn.t * Clock.time;
+  read : Txn.t -> rid:int -> now:Clock.time -> int * Clock.time;
+  write : Txn.t -> rid:int -> payload:int -> now:Clock.time -> write_result;
+  commit : Txn.t -> now:Clock.time -> Clock.time;
+  abort : Txn.t -> now:Clock.time -> Clock.time;
+  maintenance : now:Clock.time -> Clock.time;
+  sample : unit -> sample;
+  chain_histogram : unit -> Histogram.t;
+  finish : now:Clock.time -> unit;
+  crash : unit -> Clock.time;
+  driver : Driver.t option;
+}

@@ -1,0 +1,56 @@
+(** Common engine interface.
+
+    An engine is a record of operations over simulated time: each call
+    takes the caller's current simulated time and returns the time at
+    which the operation completes (having queued on page latches, paid
+    chain-traversal and I/O costs, etc.). The discrete-event runner in
+    [repro_workload] drives workers, LLTs and background maintenance
+    against this interface; all four engines (vanilla in-row, vanilla
+    off-row, and both with vDriver) implement it.
+
+    Concurrency control is snapshot isolation with no-wait write
+    conflicts: a write to a record whose current version is younger than
+    the writer or still uncommitted returns [`Conflict], and the caller
+    must abort (first-updater-wins keeps per-record version chains
+    ordered by creator timestamp in every engine). *)
+
+type sample = {
+  version_bytes : int;  (** version-space overhead (heap bloat, undo, or vDriver space) *)
+  redo_bytes : int;  (** cumulative redo volume *)
+  max_chain : int;  (** longest valid version chain *)
+  splits : int;  (** cumulative page splits (in-row engines) *)
+  truncations : int;  (** undo-tablespace truncations (off-row vanilla) *)
+  latch_wait : Clock.time;  (** cumulative time spent queueing on latches *)
+}
+
+type write_result = Committed_path of Clock.time | Conflict of Clock.time
+
+type t = {
+  name : string;
+  txns : Txn_manager.t;
+  begin_txn : now:Clock.time -> Txn.t * Clock.time;
+  read : Txn.t -> rid:int -> now:Clock.time -> int * Clock.time;
+      (** returns (payload, completion). Raises [Failure] if the
+          snapshot read is unreachable — a representation-invariant
+          violation. *)
+  write : Txn.t -> rid:int -> payload:int -> now:Clock.time -> write_result;
+  commit : Txn.t -> now:Clock.time -> Clock.time;
+  abort : Txn.t -> now:Clock.time -> Clock.time;
+  maintenance : now:Clock.time -> Clock.time;
+      (** one background GC pass (vacuum / purge / vCutter). *)
+  sample : unit -> sample;
+  chain_histogram : unit -> Histogram.t;
+      (** valid chain length of every record, for the Figure 14 CDF. *)
+  finish : now:Clock.time -> unit;
+      (** settle statistics at experiment end (e.g. flush vDriver's
+          open segments so the pruning breakdown is complete). *)
+  crash : unit -> Clock.time;
+      (** simulate a crash-restart: every in-flight transaction is a
+          loser and is rolled back; engine-specific recovery runs
+          (vDriver additionally empties all off-row state, §3.5).
+          Returns the simulated recovery duration: identifying losers
+          costs an undo-header scan in stock MySQL but only commit-log
+          lookups in PostgreSQL and vDriver (§4.2), and vDriver's undo
+          is a per-record bit toggle. *)
+  driver : Driver.t option;  (** vDriver instance, when the engine has one *)
+}

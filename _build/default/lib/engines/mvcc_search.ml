@@ -1,0 +1,22 @@
+let find_visible ~view ~len ~vs_of =
+  if len = 0 then None
+  else begin
+    let p i = Read_view.committed_before view (vs_of i) in
+    if not (p 0) then None
+    else begin
+      (* Largest index whose creator is committed in this view: binary
+         search on the prefix property... *)
+      let lo = ref 0 and hi = ref (len - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi + 1) / 2 in
+        if p mid then lo := mid else hi := mid - 1
+      done;
+      (* ...then a linear fix-up in case an active writer punched a hole
+         just below newer committed versions. *)
+      let i = ref !lo in
+      while !i + 1 < len && p (!i + 1) do
+        incr i
+      done;
+      Some !i
+    end
+  end

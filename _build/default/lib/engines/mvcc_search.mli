@@ -1,0 +1,17 @@
+(** Visible-version search over a chain sorted by creator timestamp.
+
+    Engines charge the {e simulated} cost of walking a chain
+    (position-dependent, per §2.1), but the simulator itself locates the
+    snapshot read by binary search so that reproducing a million-version
+    chain does not cost a million host operations per read. First-
+    updater-wins concurrency control keeps every chain ascending in
+    creator timestamp, which makes "creator committed before the view"
+    a prefix property (up to the short active window at the newest end,
+    handled by a local fix-up). *)
+
+val find_visible : view:Read_view.t -> len:int -> vs_of:(int -> Timestamp.t) -> int option
+(** [find_visible ~view ~len ~vs_of] returns the index of the snapshot
+    read among versions [0 .. len-1] ordered oldest to newest, where
+    [vs_of i] is version [i]'s creator timestamp and version [i]'s end
+    timestamp is [vs_of (i+1)] (infinity for the last). [None] when even
+    the oldest version is invisible. *)

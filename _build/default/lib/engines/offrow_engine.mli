@@ -1,0 +1,32 @@
+(** Vanilla off-row versioning engine (MySQL-8.0/InnoDB style, §2.1).
+
+    The heap holds only current versions (fixed footprint: no page
+    splits ever); old versions go to undo space as a roll-pointer chain.
+    Version lookup walks the chain {e from the newest version while
+    holding the page latch}, fetching undo pages through a buffer pool —
+    an LLT reading deep into history turns every hot-page latch into a
+    millisecond-scale convoy (Figure 3b). Undo-header bookkeeping rides
+    a global rollback-segment latch (the "giant latch" vDriver's
+    integration removes, §4.2/§5.2.1); undo tablespaces truncate
+    abruptly when purge drains them, producing the paper's space
+    sawtooth. *)
+
+val create :
+  ?costs:Costs.t ->
+  ?purge_batch:int ->
+  ?undo_pool_pages:int ->
+  ?truncate_threshold_bytes:int ->
+  ?gc:[ `Purge_prefix | `Interval_scan ] ->
+  Schema.t ->
+  Engine.t
+(** [purge_batch]: records scanned per purge pass (default 4096).
+    [undo_pool_pages]: undo buffer-pool capacity (default 512).
+    [truncate_threshold_bytes]: allocated undo size beyond which a
+    mostly-empty tablespace is truncated (default 4 MiB).
+    [gc] selects the cleaner: [`Purge_prefix] is stock MySQL (reclaim
+    below the oldest read view only); [`Interval_scan] is the
+    HANA/Steam-style fine-grained collector of §2.2 — it scans whole
+    version chains and removes {e any} dead version (complete w.r.t.
+    Theorem 3.5), but pays undo-page I/O for the scan, which is the
+    paper's argument for why eager interval GC does not transplant to
+    disk-based engines. *)

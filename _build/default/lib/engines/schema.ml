@@ -1,0 +1,19 @@
+type t = {
+  tables : int;
+  rows_per_table : int;
+  record_bytes : int;
+  page_bytes : int;
+  fill_factor : float;
+}
+
+let default =
+  { tables = 48; rows_per_table = 1000; record_bytes = 256; page_bytes = 8192; fill_factor = 0.7 }
+
+let records t = t.tables * t.rows_per_table
+
+let rid t ~table ~row =
+  if table < 0 || table >= t.tables || row < 0 || row >= t.rows_per_table then
+    invalid_arg "Schema.rid";
+  (table * t.rows_per_table) + row
+
+let valid_rid t r = r >= 0 && r < records t

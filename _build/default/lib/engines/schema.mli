@@ -1,0 +1,18 @@
+(** Table layout shared by all engines: [tables] x [rows_per_table]
+    records of [record_bytes] each, addressed by a flat record id. *)
+
+type t = {
+  tables : int;
+  rows_per_table : int;
+  record_bytes : int;
+  page_bytes : int;
+  fill_factor : float;
+}
+
+val default : t
+(** The paper's Figure 13 setup: 48 tables x 1000 records x 256 B,
+    8 KiB pages, 0.7 fill factor. *)
+
+val records : t -> int
+val rid : t -> table:int -> row:int -> int
+val valid_rid : t -> int -> bool

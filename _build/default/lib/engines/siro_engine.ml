@@ -1,0 +1,219 @@
+type state = {
+  flavor : [ `Pg | `Mysql ];
+  costs : Costs.t;
+  schema : Schema.t;
+  mgr : Txn_manager.t;
+  wal : Wal.t;
+  heap : Heap.t;
+  pool : Buffer_pool.t; (* data pages; fixed footprint keeps it warm *)
+  slots : Siro.t array;
+  driver : Driver.t;
+  write_sets : (Timestamp.t, int list ref) Hashtbl.t;
+}
+
+
+let fetch_page st page ~now =
+  match Buffer_pool.access st.pool ~block:page.Page.id with
+  | `Hit -> now
+  | `Miss -> now + st.costs.Costs.io_latency
+
+let read st (txn : Txn.t) ~rid ~now =
+  let page = Heap.page_of st.heap ~rid in
+  let now = fetch_page st page ~now in
+  (* Copy the requested tuple under a short latch (§4.1): the in-row
+     pair answers most reads. The PostgreSQL flavor pays the switch from
+     returning a locator to copying the tuple (§4.1). *)
+  let copy_cost = match st.flavor with `Pg -> st.costs.Costs.version_hop * 2 | `Mysql -> 0 in
+  let t =
+    Resource.acquire page.Page.latch ~now ~hold:(st.costs.Costs.read_base + copy_cost)
+  in
+  match Siro.read_inrow st.slots.(rid) txn.Txn.view with
+  | Some v -> (v.Version.payload, t + st.costs.Costs.think)
+  | None -> (
+      (* Off-row lookup through LLB and the version buffer — no page
+         latch held while walking. *)
+      match Driver.read st.driver txn.Txn.view ~rid with
+      | Some (v, source, hops) ->
+          let cost =
+            st.costs.Costs.llb_lookup
+            + (hops * st.costs.Costs.version_hop)
+            +
+            match source with
+            | Driver.From_vbuffer -> 0
+            | Driver.From_store_cached -> st.costs.Costs.version_hop
+            | Driver.From_store_io -> st.costs.Costs.io_latency
+          in
+          (v.Version.payload, t + cost + st.costs.Costs.think)
+      | None -> failwith "siro: snapshot read unreachable")
+
+let note_write st (txn : Txn.t) rid =
+  match Hashtbl.find_opt st.write_sets txn.Txn.tid with
+  | Some l -> l := rid :: !l
+  | None -> Hashtbl.replace st.write_sets txn.Txn.tid (ref [ rid ])
+
+let write st (txn : Txn.t) ~rid ~payload ~now =
+  let slot = st.slots.(rid) in
+  let cur = Siro.current slot in
+  let page = Heap.page_of st.heap ~rid in
+  let now = fetch_page st page ~now in
+  if Cc.write_conflict st.mgr txn ~current_vs:cur.Version.vs then
+    Engine.Conflict (Resource.acquire page.Page.latch ~now ~hold:st.costs.Costs.read_base)
+  else begin
+    let r =
+      Siro.update slot ~vs:txn.Txn.tid ~vs_time:now ~payload ~bytes:st.schema.Schema.record_bytes
+    in
+    if cur.Version.vs <> txn.Txn.tid then note_write st txn rid;
+    Wal.append st.wal ~bytes:st.schema.Schema.record_bytes;
+    let reloc_cost =
+      match r.Siro.relocated with
+      | None -> 0
+      | Some v -> (
+          let base = st.costs.Costs.zone_check + st.costs.Costs.segment_append in
+          match Driver.relocate st.driver v ~now with
+          | Vsorter.Pruned_first _ -> base
+          | Vsorter.Buffered _ -> base + st.costs.Costs.segment_append)
+    in
+    (* The MySQL flavor still writes an undo log (kept until commit,
+       recycled without touching the global history list — the temporal
+       redundancy of §4.2). *)
+    let undo_cost = match st.flavor with `Mysql -> st.costs.Costs.undo_header / 4 | `Pg -> 0 in
+    let t = Resource.acquire page.Page.latch ~now ~hold:st.costs.Costs.write_base in
+    Engine.Committed_path (t + reloc_cost + undo_cost + st.costs.Costs.think)
+  end
+
+let rollback_writes st (txn : Txn.t) =
+  (match Hashtbl.find_opt st.write_sets txn.Txn.tid with
+  | Some rids ->
+      List.iter (fun rid -> Siro.abort_undo st.slots.(rid) ~t_aborted:txn.Txn.tid) !rids;
+      Driver.abort_cleanup st.driver
+  | None -> ());
+  Hashtbl.remove st.write_sets txn.Txn.tid
+
+let maintenance st ~now =
+  let swept, cut = Driver.maintain st.driver ~now in
+  let cost =
+    (cut.Vcutter.segments_scanned * st.costs.Costs.zone_check)
+    + (cut.Vcutter.segments_cut * st.costs.Costs.gc_page_scan)
+    + ((swept.Vsorter.segments_dropped + swept.Vsorter.segments_flushed)
+      * st.costs.Costs.zone_check)
+    + (swept.Vsorter.versions_stored * st.costs.Costs.version_hop)
+    + (swept.Vsorter.segments_flushed * st.costs.Costs.io_latency)
+  in
+  now + st.costs.Costs.zone_check + cost
+
+let create ?(costs = Costs.default) ?driver_config ~flavor schema =
+  let mgr = Txn_manager.create () in
+  let wal = Wal.create () in
+  (* SIRO reserves the placeholder: two slots per record, never split. *)
+  let heap =
+    Heap.create ~page_bytes:schema.Schema.page_bytes
+      ~slot_bytes:(2 * schema.Schema.record_bytes)
+      ~records:(Schema.records schema) ~fill_factor:schema.Schema.fill_factor ~wal
+  in
+  let driver =
+    match driver_config with
+    | Some config -> Driver.create ~config mgr
+    | None -> Driver.create mgr
+  in
+  let pool =
+    Buffer_pool.create ~name:"heap"
+      ~capacity_blocks:(((3 * Heap.page_count heap) / 2) + 8)
+  in
+  let st =
+    {
+      flavor;
+      costs;
+      schema;
+      mgr;
+      wal;
+      heap;
+      pool;
+      slots =
+        Array.init (Schema.records schema) (fun rid ->
+            Siro.create ~rid ~bytes:schema.Schema.record_bytes ~payload:rid ~vs:0 ~vs_time:0);
+      driver;
+      write_sets = Hashtbl.create 256;
+    }
+  in
+  let inrow_len rid =
+    if Siro.previous st.slots.(rid) = None then 1 else 2
+  in
+  let pages_wait () =
+    let acc = ref 0 in
+    let seen = Hashtbl.create 64 in
+    for rid = 0 to Schema.records schema - 1 do
+      let page = Heap.page_of heap ~rid in
+      if not (Hashtbl.mem seen page.Page.id) then begin
+        Hashtbl.replace seen page.Page.id ();
+        acc := !acc + Resource.wait_time page.Page.latch
+      end
+    done;
+    !acc
+  in
+  let name = match flavor with `Pg -> "postgres-vdriver" | `Mysql -> "mysql-vdriver" in
+  {
+    Engine.name;
+    txns = mgr;
+    begin_txn =
+      (fun ~now ->
+        let txn = Txn_manager.begin_txn mgr ~now in
+        (txn, now + costs.Costs.txn_begin));
+    read = (fun txn ~rid ~now -> read st txn ~rid ~now);
+    write = (fun txn ~rid ~payload ~now -> write st txn ~rid ~payload ~now);
+    commit =
+      (fun txn ~now ->
+        Hashtbl.remove st.write_sets txn.Txn.tid;
+        Txn_manager.commit mgr txn ~now;
+        now + costs.Costs.txn_commit);
+    abort =
+      (fun txn ~now ->
+        rollback_writes st txn;
+        Txn_manager.abort mgr txn ~now;
+        now + costs.Costs.txn_commit);
+    maintenance = (fun ~now -> maintenance st ~now);
+    sample =
+      (fun () ->
+        {
+          Engine.version_bytes = Driver.space_bytes driver;
+          redo_bytes = Wal.total_bytes wal;
+          max_chain = 2 + Driver.max_chain_length driver;
+          splits = Heap.splits heap;
+          truncations = 0;
+          latch_wait = pages_wait ();
+        });
+    chain_histogram =
+      (fun () ->
+        let h = Histogram.create () in
+        for rid = 0 to Schema.records schema - 1 do
+          Histogram.add h (inrow_len rid + Driver.chain_length driver ~rid)
+        done;
+        h);
+    finish = (fun ~now -> ignore (Driver.flush_all driver ~now));
+    crash =
+      (fun () ->
+        (* Losers roll back by bit toggles (a few nanoseconds each);
+           off-row state dies wholesale with the restart (§3.5) — the
+           "instant recovery" property of in-row designs. *)
+        let undo_ops = ref 0 in
+        let losers = Hashtbl.fold (fun tid _ acc -> tid :: acc) st.write_sets [] in
+        List.iter
+          (fun tid ->
+            match Hashtbl.find_opt st.write_sets tid with
+            | Some rids ->
+                List.iter
+                  (fun rid ->
+                    incr undo_ops;
+                    Siro.abort_undo st.slots.(rid) ~t_aborted:tid)
+                  !rids;
+                Hashtbl.remove st.write_sets tid
+            | None -> ())
+          losers;
+        Driver.crash_restart driver;
+        !undo_ops * costs.Costs.zone_check);
+    driver = Some driver;
+  }
+
+let driver_exn (engine : Engine.t) =
+  match engine.Engine.driver with
+  | Some d -> d
+  | None -> invalid_arg "Siro_engine.driver_exn: engine has no vDriver"

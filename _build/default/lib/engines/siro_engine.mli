@@ -1,0 +1,24 @@
+(** Engine with vDriver plugged in (SIRO-versioning, §3–§4).
+
+    Heap pages keep each record plus exactly one in-row old version
+    (fixed two-slot footprint: pages never split); every older version
+    relocates through vSorter into classified version segments. Short
+    transactions are served from the in-row pair under a brief latch;
+    readers needing older versions go through the LLB and version-buffer
+    layer {e without holding the page latch}, so LLTs cannot convoy hot
+    pages. The [flavor] selects the host-engine persona: [`Pg] replaces
+    PostgreSQL's in-row layout, [`Mysql] replaces InnoDB's undo chains
+    and drops the rollback-segment giant latch by recycling undo logs at
+    commit (§4.2). Functionally both flavors behave identically, as the
+    paper observes of its two integrations. *)
+
+val create :
+  ?costs:Costs.t ->
+  ?driver_config:State.config ->
+  flavor:[ `Pg | `Mysql ] ->
+  Schema.t ->
+  Engine.t
+
+val driver_exn : Engine.t -> Driver.t
+(** The engine's vDriver instance. Raises if called on a vanilla
+    engine. *)

@@ -1,0 +1,1 @@
+lib/sim/queue_model.ml: Clock

@@ -1,0 +1,15 @@
+(** Simulated time.
+
+    Time is an integer count of nanoseconds since simulation start. The
+    paper's experiments run for hundreds of seconds on a 96-core machine;
+    nanosecond integer time keeps every run deterministic and leaves
+    63 bits of headroom (about 292 years). *)
+
+type time = int
+
+val ns : int -> time
+val us : int -> time
+val ms : int -> time
+val seconds : float -> time
+val to_seconds : time -> float
+val pp : Format.formatter -> time -> unit

@@ -1,0 +1,38 @@
+type t = {
+  txn_begin : Clock.time;
+  txn_commit : Clock.time;
+  read_base : Clock.time;
+  write_base : Clock.time;
+  version_hop : Clock.time;
+  io_latency : Clock.time;
+  page_split : Clock.time;
+  split_redo_bytes : int;
+  undo_header : Clock.time;
+  llb_lookup : Clock.time;
+  segment_append : Clock.time;
+  zone_check : Clock.time;
+  gc_page_scan : Clock.time;
+  think : Clock.time;
+}
+
+(* [txn_begin]/[txn_commit]/[think] fold in client round-trip and
+   statement overhead; they set the baseline transaction length (and so
+   the event density the simulator must process) without affecting
+   which cost terms grow with chain length. *)
+let default =
+  {
+    txn_begin = Clock.us 10;
+    txn_commit = Clock.us 10;
+    read_base = Clock.us 2;
+    write_base = Clock.us 3;
+    version_hop = Clock.ns 150;
+    io_latency = Clock.us 12;
+    page_split = Clock.us 60;
+    split_redo_bytes = 8_192;
+    undo_header = Clock.us 2;
+    llb_lookup = Clock.ns 700;
+    segment_append = Clock.ns 400;
+    zone_check = Clock.ns 60;
+    gc_page_scan = Clock.us 2;
+    think = Clock.us 20;
+  }

@@ -1,0 +1,28 @@
+(** Cost model for the simulated hardware and engine internals.
+
+    Each field is the simulated duration of one primitive. Defaults are
+    loosely calibrated to a 2020-era NUMA server with NVMe SSDs (the
+    paper's testbed): sub-microsecond in-memory work, ~10 us block I/O,
+    tens of microseconds for a page split. Absolute values only scale the
+    y-axis of the reproduced figures; the *shapes* come from which terms
+    grow with version-chain length, which is taken from the paper's code
+    analysis (§2.1). *)
+
+type t = {
+  txn_begin : Clock.time;  (** allocate tid, build read view *)
+  txn_commit : Clock.time;  (** commit-log write, view teardown *)
+  read_base : Clock.time;  (** locate record page, copy visible tuple *)
+  write_base : Clock.time;  (** in-place update / heap insert *)
+  version_hop : Clock.time;  (** examine one version while walking a chain *)
+  io_latency : Clock.time;  (** fetch one block the buffer pool missed *)
+  page_split : Clock.time;  (** split an overflowing heap page (in-row) *)
+  split_redo_bytes : int;  (** redo generated per page split *)
+  undo_header : Clock.time;  (** rollback-segment header bookkeeping (MySQL) *)
+  llb_lookup : Clock.time;  (** vDriver LLB hash probe + segment index *)
+  segment_append : Clock.time;  (** vSorter relocation into a version segment *)
+  zone_check : Clock.time;  (** one Theorem 3.5 containment test *)
+  gc_page_scan : Clock.time;  (** vacuum/purge work per page scanned *)
+  think : Clock.time;  (** per-operation client/parse overhead *)
+}
+
+val default : t

@@ -1,0 +1,1 @@
+lib/storage/heap.ml: Array Hashtbl Option Page Vec Wal

@@ -1,0 +1,64 @@
+(* Doubly-linked list threaded through a hashtable; most-recent at front. *)
+
+type entry = { key : int; mutable prev : entry option; mutable next : entry option }
+
+type t = {
+  capacity : int;
+  table : (int, entry) Hashtbl.t;
+  mutable front : entry option;
+  mutable back : entry option;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
+  { capacity; table = Hashtbl.create (2 * capacity); front = None; back = None }
+
+let capacity t = t.capacity
+let size t = Hashtbl.length t.table
+let mem t k = Hashtbl.mem t.table k
+
+let detach t e =
+  (match e.prev with Some p -> p.next <- e.next | None -> t.front <- e.next);
+  (match e.next with Some n -> n.prev <- e.prev | None -> t.back <- e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let push_front t e =
+  e.next <- t.front;
+  e.prev <- None;
+  (match t.front with Some f -> f.prev <- Some e | None -> t.back <- Some e);
+  t.front <- Some e
+
+let touch t k =
+  match Hashtbl.find_opt t.table k with
+  | Some e ->
+      detach t e;
+      push_front t e;
+      `Hit
+  | None ->
+      let evicted =
+        if Hashtbl.length t.table >= t.capacity then
+          match t.back with
+          | Some victim ->
+              detach t victim;
+              Hashtbl.remove t.table victim.key;
+              Some victim.key
+          | None -> None
+        else None
+      in
+      let e = { key = k; prev = None; next = None } in
+      Hashtbl.replace t.table k e;
+      push_front t e;
+      `Miss evicted
+
+let remove t k =
+  match Hashtbl.find_opt t.table k with
+  | Some e ->
+      detach t e;
+      Hashtbl.remove t.table k
+  | None -> ()
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.front <- None;
+  t.back <- None

@@ -1,0 +1,18 @@
+(** LRU set over integer keys, for buffer-pool residency tracking. *)
+
+type t
+
+val create : capacity:int -> t
+(** Raises [Invalid_argument] if [capacity <= 0]. *)
+
+val capacity : t -> int
+val size : t -> int
+val mem : t -> int -> bool
+
+val touch : t -> int -> [ `Hit | `Miss of int option ]
+(** Access a key: [`Hit] if resident (moves it to most-recent);
+    [`Miss evicted] inserts it, reporting the evicted key if the set
+    was full. *)
+
+val remove : t -> int -> unit
+val clear : t -> unit

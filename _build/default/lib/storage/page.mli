@@ -1,0 +1,24 @@
+(** A heap data page: byte-budget accounting plus an exclusive latch.
+
+    The latch is the contention point the paper's §2.1 analysis centres
+    on — version-chain walks and in-place updates hold it, and its hold
+    time growing with chain length is what collapses vanilla MySQL. *)
+
+type t = {
+  id : int;
+  cap_bytes : int;
+  mutable used_bytes : int;
+  mutable records : int;
+  latch : Resource.t;
+}
+
+val create : id:int -> cap_bytes:int -> t
+val free_bytes : t -> int
+val overflowed : t -> bool
+
+val add_bytes : t -> int -> unit
+(** May push [used_bytes] past capacity; the owner decides whether that
+    triggers a split (in-row engines) or is forbidden (fixed layouts). *)
+
+val remove_bytes : t -> int -> unit
+(** Raises [Invalid_argument] when removing more than is used. *)

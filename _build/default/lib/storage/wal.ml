@@ -1,0 +1,11 @@
+type t = { mutable total : int; mutable records : int }
+
+let create () = { total = 0; records = 0 }
+
+let append t ~bytes =
+  if bytes < 0 then invalid_arg "Wal.append: negative size";
+  t.total <- t.total + bytes;
+  t.records <- t.records + 1
+
+let total_bytes t = t.total
+let records t = t.records

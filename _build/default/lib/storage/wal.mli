@@ -1,0 +1,10 @@
+(** Redo-log volume accounting. Page splits in in-row engines "produce
+    redo logs for capturing changes" (§2.1); we track the bytes so the
+    cost shows up in the space metrics. *)
+
+type t
+
+val create : unit -> t
+val append : t -> bytes:int -> unit
+val total_bytes : t -> int
+val records : t -> int

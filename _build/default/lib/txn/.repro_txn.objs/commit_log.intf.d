@@ -1,0 +1,1 @@
+lib/txn/commit_log.mli: Timestamp

@@ -1,0 +1,1 @@
+lib/txn/read_view.mli: Timestamp

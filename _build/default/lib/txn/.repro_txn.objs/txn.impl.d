@@ -1,0 +1,1 @@
+lib/txn/txn.ml: Clock Format Read_view Timestamp

@@ -1,0 +1,1 @@
+lib/txn/txn.mli: Clock Format Read_view Timestamp

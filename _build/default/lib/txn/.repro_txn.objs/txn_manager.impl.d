@@ -1,0 +1,1 @@
+lib/txn/txn_manager.ml: Commit_log Hashtbl List Read_view Timestamp Txn

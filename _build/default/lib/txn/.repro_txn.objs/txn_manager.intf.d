@@ -1,0 +1,1 @@
+lib/txn/txn_manager.mli: Clock Commit_log Read_view Timestamp Txn

@@ -1,0 +1,22 @@
+type status = Committed_at of Timestamp.t | Aborted_at of Timestamp.t
+type t = { table : (Timestamp.t, status) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 1024 }
+
+let record t ~tid status =
+  if Hashtbl.mem t.table tid then invalid_arg "Commit_log.record: duplicate status";
+  Hashtbl.replace t.table tid status
+
+let status t tid = Hashtbl.find_opt t.table tid
+
+let is_committed t tid =
+  match Hashtbl.find_opt t.table tid with
+  | Some (Committed_at _) -> true
+  | Some (Aborted_at _) | None -> false
+
+let commit_ts_of t tid =
+  match Hashtbl.find_opt t.table tid with
+  | Some (Committed_at cts) -> Some cts
+  | Some (Aborted_at _) | None -> None
+
+let finished t = Hashtbl.length t.table

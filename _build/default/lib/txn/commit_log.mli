@@ -1,0 +1,25 @@
+(** Commit log — the analogue of PostgreSQL's [pg_xact] (§4.2).
+
+    Records the final status of every finished transaction so that loser
+    transactions can be identified directly, which is the property that
+    lets vDriver drop the engine's duplicate undo copies once the owner
+    commits. *)
+
+type status = Committed_at of Timestamp.t | Aborted_at of Timestamp.t
+type t
+
+val create : unit -> t
+val record : t -> tid:Timestamp.t -> status -> unit
+(** Raises [Invalid_argument] if [tid] already has a status. *)
+
+val status : t -> Timestamp.t -> status option
+
+val is_committed : t -> Timestamp.t -> bool
+(** Whether the transaction with this begin timestamp committed. *)
+
+val commit_ts_of : t -> Timestamp.t -> Timestamp.t option
+(** The commit timestamp of the transaction that began at the given
+    timestamp; [None] if it aborted or is still live. *)
+
+val finished : t -> int
+(** Number of transactions with a recorded status. *)

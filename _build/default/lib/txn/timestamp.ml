@@ -1,0 +1,14 @@
+type t = int
+
+let infinity = max_int
+
+type oracle = { mutable counter : int }
+
+let oracle () = { counter = 1 }
+
+let next o =
+  let v = o.counter in
+  o.counter <- o.counter + 1;
+  v
+
+let current o = o.counter

@@ -1,0 +1,24 @@
+(** Logical timestamps.
+
+    A single monotone oracle hands out transaction identifiers; a
+    transaction's id doubles as its begin timestamp (the MySQL/PostgreSQL
+    convention the paper builds its read-view formulation on, §3.1).
+    Uniqueness of timestamps is what makes the strict inequalities of
+    Theorem 3.5 unambiguous. *)
+
+type t = int
+
+val infinity : t
+(** End timestamp of the current record version [v^{r,0}] (half-open
+    visibility, "valid time" in Hekaton). *)
+
+type oracle
+
+val oracle : unit -> oracle
+
+val next : oracle -> t
+(** Strictly increasing; starts at 1. *)
+
+val current : oracle -> t
+(** The value the next call to [next] will return — the reproduction's
+    proxy for the paper's current time [C^T]. *)

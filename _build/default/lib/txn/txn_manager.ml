@@ -1,0 +1,97 @@
+type t = {
+  ts_oracle : Timestamp.oracle;
+  live : (Timestamp.t, Txn.t) Hashtbl.t;
+  log : Commit_log.t;
+  mutable started : int;
+  mutable committed : int;
+  mutable aborted : int;
+  mutable avg_duration : float; (* ns, EWMA *)
+}
+
+let create () =
+  {
+    ts_oracle = Timestamp.oracle ();
+    live = Hashtbl.create 256;
+    log = Commit_log.create ();
+    started = 0;
+    committed = 0;
+    aborted = 0;
+    avg_duration = 0.;
+  }
+
+let oracle t = Timestamp.current t.ts_oracle
+
+let live_begin_ts t =
+  Hashtbl.fold (fun ts _ acc -> ts :: acc) t.live [] |> List.sort compare
+
+let begin_txn t ~now =
+  let actives = live_begin_ts t in
+  let tid = Timestamp.next t.ts_oracle in
+  let view = Read_view.make ~creator:tid ~actives ~high:tid in
+  let txn =
+    {
+      Txn.tid;
+      begin_time = now;
+      view;
+      state = Txn.Active;
+      commit_ts = None;
+      reads = 0;
+      writes = 0;
+    }
+  in
+  Hashtbl.replace t.live tid txn;
+  t.started <- t.started + 1;
+  txn
+
+let note_duration t dur =
+  let dur = float_of_int dur in
+  if t.avg_duration = 0. then t.avg_duration <- dur
+  else t.avg_duration <- (0.95 *. t.avg_duration) +. (0.05 *. dur)
+
+let finish t (txn : Txn.t) =
+  if not (Txn.is_active txn) then invalid_arg "Txn_manager: transaction not active";
+  Hashtbl.remove t.live txn.tid
+
+let commit t (txn : Txn.t) ~now =
+  finish t txn;
+  let commit_ts = Timestamp.next t.ts_oracle in
+  txn.state <- Txn.Committed;
+  txn.commit_ts <- Some commit_ts;
+  Commit_log.record t.log ~tid:txn.tid (Commit_log.Committed_at commit_ts);
+  note_duration t (Txn.age txn ~now);
+  t.committed <- t.committed + 1
+
+let abort t (txn : Txn.t) ~now =
+  finish t txn;
+  let ts = Timestamp.next t.ts_oracle in
+  txn.state <- Txn.Aborted;
+  Commit_log.record t.log ~tid:txn.tid (Commit_log.Aborted_at ts);
+  ignore now;
+  t.aborted <- t.aborted + 1
+
+let commit_log t = t.log
+let live_count t = Hashtbl.length t.live
+
+let live_txns_sorted t =
+  Hashtbl.fold (fun _ txn acc -> txn :: acc) t.live []
+  |> List.sort (fun (a : Txn.t) (b : Txn.t) -> compare a.tid b.tid)
+
+let live_views t = List.map (fun (txn : Txn.t) -> txn.Txn.view) (live_txns_sorted t)
+
+let oldest_active t =
+  match live_begin_ts t with [] -> None | ts :: _ -> Some ts
+
+let oldest_visible_horizon t =
+  List.fold_left
+    (fun acc view -> min acc (Read_view.oldest_visible_horizon view))
+    (oracle t) (live_views t)
+
+let llt_views t ~now ~delta_llt =
+  live_txns_sorted t
+  |> List.filter (fun txn -> Txn.age txn ~now > delta_llt)
+  |> List.map (fun (txn : Txn.t) -> txn.Txn.view)
+
+let avg_txn_duration t = int_of_float t.avg_duration
+let started t = t.started
+let committed t = t.committed
+let aborted t = t.aborted

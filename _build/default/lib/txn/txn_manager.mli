@@ -1,0 +1,48 @@
+(** Live-transaction table.
+
+    The engine-shared structure the paper builds dead zones from: MySQL's
+    [trx_sys->mvcc] list / PostgreSQL's proc array (§3.3, §4.3).
+    Provides begin/commit/abort, read-view construction, the oldest-active
+    boundary (the vanilla GC criterion), and LLT identification by age. *)
+
+type t
+
+val create : unit -> t
+val oracle : t -> Timestamp.t
+(** Current value of the timestamp oracle (proxy for [C^T]). *)
+
+val begin_txn : t -> now:Clock.time -> Txn.t
+val commit : t -> Txn.t -> now:Clock.time -> unit
+(** Assigns a commit timestamp, records it in the commit log and removes
+    the transaction from the live table. Raises [Invalid_argument] if the
+    transaction is not active. *)
+
+val abort : t -> Txn.t -> now:Clock.time -> unit
+val commit_log : t -> Commit_log.t
+val live_count : t -> int
+val live_begin_ts : t -> Timestamp.t list
+(** Sorted ascending. *)
+
+val live_views : t -> Read_view.t list
+(** Read views of all live transactions, ascending by creator ts. *)
+
+val oldest_active : t -> Timestamp.t option
+val oldest_visible_horizon : t -> Timestamp.t
+(** Versions with [ve] below this are invisible to every live view —
+    the vanilla purge/vacuum boundary. Equals the oracle when no
+    transaction is live. *)
+
+val llt_views : t -> now:Clock.time -> delta_llt:Clock.time -> Read_view.t list
+(** Views of live transactions whose age exceeds [delta_llt] — the
+    classifier's notion of "known LLTs". A transaction younger than the
+    threshold is invisible here even if it will live long: that gap is
+    the paper's vulnerability window. *)
+
+val avg_txn_duration : t -> Clock.time
+(** Exponentially-weighted average duration of committed transactions
+    (basis for choosing [delta_llt] as "a multiple of an average
+    transaction length"). Zero until the first commit. *)
+
+val started : t -> int
+val committed : t -> int
+val aborted : t -> int

@@ -1,0 +1,81 @@
+type t = {
+  bucket_width : int;
+  mutable counts : int array;
+  mutable total : int;
+  mutable max_value : int;
+}
+
+let create ?(bucket_width = 1) () =
+  if bucket_width <= 0 then invalid_arg "Histogram.create";
+  { bucket_width; counts = Array.make 16 0; total = 0; max_value = 0 }
+
+let ensure t idx =
+  let cap = Array.length t.counts in
+  if idx >= cap then begin
+    let new_cap = max (idx + 1) (cap * 2) in
+    let counts = Array.make new_cap 0 in
+    Array.blit t.counts 0 counts 0 cap;
+    t.counts <- counts
+  end
+
+let add_many t v ~count =
+  if v < 0 then invalid_arg "Histogram.add: negative value";
+  if count < 0 then invalid_arg "Histogram.add_many: negative count";
+  let idx = v / t.bucket_width in
+  ensure t idx;
+  t.counts.(idx) <- t.counts.(idx) + count;
+  t.total <- t.total + count;
+  if v > t.max_value then t.max_value <- v
+
+let add t v = add_many t v ~count:1
+let total t = t.total
+let max_value t = t.max_value
+
+(* Bucket [i] is reported at its inclusive upper bound. *)
+let bucket_repr t i = ((i + 1) * t.bucket_width) - 1
+
+let count_le t v =
+  let acc = ref 0 in
+  let i = ref 0 in
+  let n = Array.length t.counts in
+  while !i < n && bucket_repr t !i <= v do
+    acc := !acc + t.counts.(!i);
+    incr i
+  done;
+  !acc
+
+let cdf t =
+  if t.total = 0 then []
+  else begin
+    let acc = ref 0 in
+    let out = ref [] in
+    Array.iteri
+      (fun i c ->
+        if c > 0 then begin
+          acc := !acc + c;
+          out := (bucket_repr t i, float_of_int !acc /. float_of_int t.total) :: !out
+        end)
+      t.counts;
+    List.rev !out
+  end
+
+let percentile t p =
+  if t.total = 0 then invalid_arg "Histogram.percentile: empty histogram";
+  if p < 0. || p > 1. then invalid_arg "Histogram.percentile: fraction out of range";
+  let target = int_of_float (ceil (p *. float_of_int t.total)) in
+  let target = max target 1 in
+  let acc = ref 0 in
+  let result = ref None in
+  (try
+     Array.iteri
+       (fun i c ->
+         acc := !acc + c;
+         if !acc >= target && !result = None then begin
+           result := Some (bucket_repr t i);
+           raise Exit
+         end)
+       t.counts
+   with Exit -> ());
+  match !result with
+  | Some v -> v
+  | None -> bucket_repr t (Array.length t.counts - 1)

@@ -1,0 +1,32 @@
+(** Fixed-width bucket histogram over non-negative integers, with CDF
+    extraction. Used for the chain-length CDF (Figure 14) and cut-delay
+    distributions (Figure 16). *)
+
+type t
+
+val create : ?bucket_width:int -> unit -> t
+(** [create ~bucket_width ()] — values [v] are counted in bucket
+    [v / bucket_width]. Default width 1. *)
+
+val add : t -> int -> unit
+(** Record one observation. Negative values raise [Invalid_argument]. *)
+
+val add_many : t -> int -> count:int -> unit
+
+val total : t -> int
+(** Number of observations recorded. *)
+
+val max_value : t -> int
+(** Largest observation seen; 0 if empty. *)
+
+val count_le : t -> int -> int
+(** Observations whose bucket upper bound is [<=] the given value. *)
+
+val cdf : t -> (int * float) list
+(** [(v, f)] pairs: fraction [f] of observations fall in buckets whose
+    representative value is [<= v]. Empty histogram gives []. *)
+
+val percentile : t -> float -> int
+(** [percentile t 0.99] is the smallest bucket representative covering at
+    least that fraction of observations. Raises if the histogram is
+    empty or the fraction is outside [0, 1]. *)

@@ -1,0 +1,31 @@
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.
+  | _ ->
+      let m = mean xs in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs
+        /. float_of_int (List.length xs)
+      in
+      sqrt var
+
+let percentile xs p =
+  if xs = [] then invalid_arg "Stats.percentile: empty sample";
+  if p < 0. || p > 1. then invalid_arg "Stats.percentile: fraction out of range";
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  let rank = int_of_float (ceil (p *. float_of_int n)) in
+  a.(max 0 (min (n - 1) (rank - 1)))
+
+let minimum = function
+  | [] -> invalid_arg "Stats.minimum: empty sample"
+  | x :: xs -> List.fold_left min x xs
+
+let maximum = function
+  | [] -> invalid_arg "Stats.maximum: empty sample"
+  | x :: xs -> List.fold_left max x xs

@@ -1,0 +1,15 @@
+(** Small descriptive-statistics helpers for float samples. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0. for the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0. for lists shorter than 2. *)
+
+val percentile : float list -> float -> float
+(** [percentile xs p] with [p] in [0,1], nearest-rank on the sorted
+    sample. Raises [Invalid_argument] on an empty list or out-of-range
+    [p]. *)
+
+val minimum : float list -> float
+val maximum : float list -> float

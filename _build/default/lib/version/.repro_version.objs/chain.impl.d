@@ -1,0 +1,1 @@
+lib/version/chain.ml: Format List Read_view Timestamp Version

@@ -1,0 +1,1 @@
+lib/version/chain.mli: Read_view Timestamp Version

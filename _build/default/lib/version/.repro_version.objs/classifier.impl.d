@@ -1,0 +1,1 @@
+lib/version/classifier.ml: Clock List Read_view Vclass Version

@@ -1,0 +1,1 @@
+lib/version/classifier.mli: Clock Read_view Vclass Version

@@ -1,0 +1,1 @@
+lib/version/segment.ml: Chain Clock Timestamp Vclass Vec Version

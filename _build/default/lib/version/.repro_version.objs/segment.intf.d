@@ -1,0 +1,1 @@
+lib/version/segment.mli: Chain Clock Timestamp Vclass Vec

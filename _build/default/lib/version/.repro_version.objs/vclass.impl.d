@@ -1,0 +1,1 @@
+lib/version/vclass.ml: Format

@@ -1,0 +1,1 @@
+lib/version/version.ml: Clock Format Timestamp

@@ -1,0 +1,1 @@
+lib/version/version.mli: Clock Format Timestamp

@@ -1,0 +1,19 @@
+type t = { delta_hot : Clock.time; delta_llt : Clock.time }
+
+let create ?(delta_hot = Clock.ms 50) ?(delta_llt = Clock.ms 50) () =
+  if delta_hot <= 0 || delta_llt <= 0 then invalid_arg "Classifier.create: thresholds must be positive";
+  { delta_hot; delta_llt }
+
+let delta_llt_of_avg ~multiple ~avg_txn =
+  if multiple <= 0 then invalid_arg "Classifier.delta_llt_of_avg";
+  max (Clock.ms 1) (multiple * avg_txn)
+
+let classify t ~llt_views (v : Version.t) =
+  let pinned_by_llt =
+    List.exists
+      (fun view -> Read_view.snapshot_read view ~vs:v.Version.vs ~ve:v.Version.ve)
+      llt_views
+  in
+  if pinned_by_llt then Vclass.Llt
+  else if Version.update_interval v < t.delta_hot then Vclass.Hot
+  else Vclass.Cold

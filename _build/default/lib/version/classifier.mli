@@ -1,0 +1,29 @@
+(** Version classification (§3.3, Figure 7).
+
+    Stage 1: a version that is the snapshot read of at least one
+    {e identified} LLT goes to [VC_llt]. Identification is by age — a
+    live transaction older than [delta_llt] — so a transaction still
+    inside its {e vulnerability window} (younger than the threshold but
+    destined to live long) is not consulted, and versions it pins are
+    misclassified into HOT/COLD. That error and its cost (suspended
+    cleaning of contaminated segments) are exactly what Figures 15–16
+    measure.
+
+    Stage 2: versions with update interval below [delta_hot] are [Hot],
+    the rest [Cold]. *)
+
+type t = {
+  delta_hot : Clock.time;
+  delta_llt : Clock.time;
+}
+
+val create : ?delta_hot:Clock.time -> ?delta_llt:Clock.time -> unit -> t
+(** Defaults: [delta_hot] = 50 ms, [delta_llt] = 50 ms of simulated time. *)
+
+val delta_llt_of_avg : multiple:int -> avg_txn:Clock.time -> Clock.time
+(** "[delta_llt] is a multiple of an average transaction length". Never
+    below 1 ms so a cold start cannot declare everyone an LLT. *)
+
+val classify : t -> llt_views:Read_view.t list -> Version.t -> Vclass.t
+(** [llt_views] must be the views of live transactions whose age
+    exceeds [delta_llt] (see [Txn_manager.llt_views]). *)

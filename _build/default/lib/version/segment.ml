@@ -1,0 +1,80 @@
+type state = In_buffer | Hardened | Cut
+
+type t = {
+  id : int;
+  cls : Vclass.t;
+  cap_bytes : int;
+  mutable used_bytes : int;
+  nodes : Chain.node Vec.t;
+  mutable vmin : Timestamp.t;
+  mutable vmax : Timestamp.t;
+  mutable state : state;
+  created_at : Clock.time;
+  mutable hardened_at : Clock.time option;
+  mutable cut_at : Clock.time option;
+}
+
+let create ~id ~cls ~cap_bytes ~now =
+  if cap_bytes <= 0 then invalid_arg "Segment.create: capacity must be positive";
+  {
+    id;
+    cls;
+    cap_bytes;
+    used_bytes = 0;
+    nodes = Vec.create ();
+    vmin = max_int;
+    vmax = min_int;
+    state = In_buffer;
+    created_at = now;
+    hardened_at = None;
+    cut_at = None;
+  }
+
+let fits t ~bytes = t.used_bytes + bytes <= t.cap_bytes
+let is_empty t = Vec.is_empty t.nodes
+let version_count t = Vec.length t.nodes
+
+let add t node =
+  if t.state <> In_buffer then invalid_arg "Segment.add: segment not in buffer";
+  let v = node.Chain.version in
+  if not (fits t ~bytes:v.Version.bytes) then invalid_arg "Segment.add: overflow";
+  Vec.push t.nodes node;
+  node.Chain.seg_id <- t.id;
+  t.used_bytes <- t.used_bytes + v.Version.bytes;
+  if node.Chain.prune_lo < t.vmin then t.vmin <- node.Chain.prune_lo;
+  if node.Chain.prune_hi > t.vmax then t.vmax <- node.Chain.prune_hi
+
+let live_count t =
+  Vec.fold_left (fun acc n -> if n.Chain.deleted then acc else acc + 1) 0 t.nodes
+
+let descriptor t =
+  if is_empty t then invalid_arg "Segment.descriptor: empty segment";
+  (t.id, t.vmin, t.vmax)
+
+let compact t =
+  if t.state <> In_buffer then invalid_arg "Segment.compact: segment not in buffer";
+  Vec.filter_in_place (fun n -> not n.Chain.deleted) t.nodes;
+  t.used_bytes <- 0;
+  t.vmin <- max_int;
+  t.vmax <- min_int;
+  Vec.iter
+    (fun n ->
+      t.used_bytes <- t.used_bytes + n.Chain.version.Version.bytes;
+      if n.Chain.prune_lo < t.vmin then t.vmin <- n.Chain.prune_lo;
+      if n.Chain.prune_hi > t.vmax then t.vmax <- n.Chain.prune_hi)
+    t.nodes
+
+let harden t ~now =
+  if t.state <> In_buffer then invalid_arg "Segment.harden: segment not in buffer";
+  t.state <- Hardened;
+  t.hardened_at <- Some now
+
+let mark_cut t ~now =
+  if t.state = Cut then invalid_arg "Segment.mark_cut: already cut";
+  t.state <- Cut;
+  t.cut_at <- Some now
+
+let cut_delay t =
+  match (t.hardened_at, t.cut_at) with
+  | Some h, Some c -> Some (max 0 (c - h))
+  | _, _ -> None

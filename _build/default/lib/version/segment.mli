@@ -1,0 +1,58 @@
+(** Version segment — the unit of batch pruning and cleaning (§3.3–3.4).
+
+    A segment is a fixed-size byte range inside one version cluster. It
+    fills with relocated versions while [In_buffer]; once full it is
+    hardened to the version store (and may be dropped wholesale by the
+    2nd, segment-level prune on the way). Hardened segments are cleaned
+    by vCutter when their [VS descriptor] range [\[v_min, v_max\]] is
+    covered by a single dead zone.
+
+    [v_min]/[v_max] are the minimum visibility start and maximum
+    visibility end over the versions stored — the paper's descriptor
+    fields — taken from each node's commit-time prune interval. *)
+
+type state = In_buffer | Hardened | Cut
+
+type t = {
+  id : int;
+  cls : Vclass.t;
+  cap_bytes : int;
+  mutable used_bytes : int;
+  nodes : Chain.node Vec.t;
+  mutable vmin : Timestamp.t;
+  mutable vmax : Timestamp.t;
+  mutable state : state;
+  created_at : Clock.time;
+  mutable hardened_at : Clock.time option;
+  mutable cut_at : Clock.time option;
+}
+
+val create : id:int -> cls:Vclass.t -> cap_bytes:int -> now:Clock.time -> t
+
+val add : t -> Chain.node -> unit
+(** Account a relocated version into this segment. Raises
+    [Invalid_argument] if the segment is not [In_buffer] or would
+    overflow. *)
+
+val fits : t -> bytes:int -> bool
+val is_empty : t -> bool
+val version_count : t -> int
+
+val live_count : t -> int
+(** Versions not yet deleted from their chains. *)
+
+val descriptor : t -> int * Timestamp.t * Timestamp.t
+(** [(seg_id, v_min, v_max)] — the VS descriptor. Raises on an empty
+    segment (an unfilled, empty segment has no descriptor; §5.2.6). *)
+
+val compact : t -> unit
+(** Drop nodes already deleted from their chains and recompute
+    [used_bytes], [v_min] and [v_max] from the survivors. Used after the
+    2nd (segment-level) prune, before hardening. Raises if not
+    [In_buffer]. *)
+
+val harden : t -> now:Clock.time -> unit
+val mark_cut : t -> now:Clock.time -> unit
+
+val cut_delay : t -> Clock.time option
+(** Hardened-to-cut elapsed time — the Figure 16 metric. *)

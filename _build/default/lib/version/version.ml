@@ -1,0 +1,23 @@
+type t = {
+  rid : int;
+  vs : Timestamp.t;
+  ve : Timestamp.t;
+  vs_time : Clock.time;
+  ve_time : Clock.time;
+  bytes : int;
+  payload : int;
+}
+
+let make ~rid ~vs ~ve ~vs_time ~ve_time ~bytes ~payload =
+  if vs >= ve then invalid_arg "Version.make: requires vs < ve";
+  if bytes < 0 then invalid_arg "Version.make: negative size";
+  { rid; vs; ve; vs_time; ve_time; bytes; payload }
+
+let update_interval t =
+  if t.ve = Timestamp.infinity then max_int else max 0 (t.ve_time - t.vs_time)
+
+let is_current t = t.ve = Timestamp.infinity
+
+let pp fmt t =
+  if t.ve = Timestamp.infinity then Format.fprintf fmt "v[r%d %d,inf)" t.rid t.vs
+  else Format.fprintf fmt "v[r%d %d,%d)" t.rid t.vs t.ve

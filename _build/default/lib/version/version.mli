@@ -1,0 +1,36 @@
+(** A committed record version.
+
+    [vs]/[ve] follow the engine convention (§3.1): they are the *begin*
+    timestamps of the transaction that created this version and of the
+    one that created its successor ([Timestamp.infinity] while the
+    version is still the newest). [vs_time]/[ve_time] are the simulated
+    wall-clock counterparts, used by the classifier, whose thresholds
+    ([delta_hot], [delta_llt]) are durations. *)
+
+type t = {
+  rid : int;  (** record identifier *)
+  vs : Timestamp.t;
+  ve : Timestamp.t;
+  vs_time : Clock.time;
+  ve_time : Clock.time;
+  bytes : int;  (** payload footprint for space accounting *)
+  payload : int;  (** opaque value; lets tests check reads return the right version *)
+}
+
+val make :
+  rid:int ->
+  vs:Timestamp.t ->
+  ve:Timestamp.t ->
+  vs_time:Clock.time ->
+  ve_time:Clock.time ->
+  bytes:int ->
+  payload:int ->
+  t
+
+val update_interval : t -> Clock.time
+(** [ve_time - vs_time]; the update interval the HOT/COLD split keys on. *)
+
+val is_current : t -> bool
+(** [ve = Timestamp.infinity]. *)
+
+val pp : Format.formatter -> t -> unit

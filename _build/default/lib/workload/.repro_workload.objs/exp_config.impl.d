@@ -1,0 +1,1 @@
+lib/workload/exp_config.ml: Access Clock Schema

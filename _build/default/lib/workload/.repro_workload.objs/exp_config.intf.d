@@ -1,0 +1,1 @@
+lib/workload/exp_config.mli: Access Clock Schema

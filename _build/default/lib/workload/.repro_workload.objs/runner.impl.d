@@ -1,0 +1,1 @@
+lib/workload/runner.ml: Access Clock Driver Engine Exp_config Histogram List Printf Rng Scheduler Series Stats Txn Vclass Version_store

@@ -1,0 +1,1 @@
+lib/workload/runner.mli: Clock Driver Engine Exp_config Histogram Schema Vclass

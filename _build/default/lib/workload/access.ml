@@ -1,0 +1,26 @@
+type pattern = Uniform | Zipfian of float
+
+let pattern_to_string = function
+  | Uniform -> "uniform"
+  | Zipfian s -> Printf.sprintf "zipf(%.2f)" s
+
+type row_sampler = Uniform_rows | Zipf_rows of Zipf.t
+
+type t = { schema : Schema.t; rows : row_sampler }
+
+let create schema pattern =
+  let rows =
+    match pattern with
+    | Uniform -> Uniform_rows
+    | Zipfian s -> Zipf_rows (Zipf.create ~n:schema.Schema.rows_per_table ~s)
+  in
+  { schema; rows }
+
+let sample t rng =
+  let table = Rng.int rng t.schema.Schema.tables in
+  let row =
+    match t.rows with
+    | Uniform_rows -> Rng.int rng t.schema.Schema.rows_per_table
+    | Zipf_rows z -> Zipf.sample z rng
+  in
+  Schema.rid t.schema ~table ~row

@@ -1,0 +1,13 @@
+(** Record-access patterns, mirroring sysbench: the table is picked
+    uniformly, the row within it by the configured distribution
+    ([rand-zipfian-exp] in the paper's runs). *)
+
+type pattern = Uniform | Zipfian of float
+
+val pattern_to_string : pattern -> string
+
+type t
+
+val create : Schema.t -> pattern -> t
+val sample : t -> Rng.t -> int
+(** Draw a record id. *)

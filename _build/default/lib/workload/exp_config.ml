@@ -1,0 +1,40 @@
+type llt_spec = { start_s : float; duration_s : float; count : int }
+type phase = { at_s : float; pattern : Access.pattern }
+
+type t = {
+  name : string;
+  seed : int;
+  duration_s : float;
+  workers : int;
+  reads_per_txn : int;
+  writes_per_txn : int;
+  schema : Schema.t;
+  phases : phase list;
+  llts : llt_spec list;
+  gc_period : Clock.time;
+  sample_period_s : float;
+}
+
+let default =
+  {
+    name = "default";
+    seed = 42;
+    duration_s = 60.;
+    workers = 16;
+    reads_per_txn = 4;
+    writes_per_txn = 2;
+    schema = Schema.default;
+    phases = [ { at_s = 0.; pattern = Access.Uniform } ];
+    llts = [];
+    gc_period = Clock.ms 10;
+    sample_period_s = 1.0;
+  }
+
+let pattern_at t s =
+  let rec pick current = function
+    | [] -> current
+    | { at_s; pattern } :: rest -> if s >= at_s then pick pattern rest else current
+  in
+  match t.phases with
+  | [] -> Access.Uniform
+  | { pattern; _ } :: rest -> pick pattern rest

@@ -1,0 +1,34 @@
+(** Experiment configuration: the paper's evaluation knobs (§5.1). *)
+
+type llt_spec = {
+  start_s : float;  (** simulated time the LLT group joins *)
+  duration_s : float;  (** how long each LLT lives before committing *)
+  count : int;  (** transactions in the group *)
+}
+
+type phase = {
+  at_s : float;  (** phase start *)
+  pattern : Access.pattern;
+}
+
+type t = {
+  name : string;
+  seed : int;
+  duration_s : float;
+  workers : int;  (** simulated cores running the OLTP mix *)
+  reads_per_txn : int;
+  writes_per_txn : int;
+  schema : Schema.t;
+  phases : phase list;  (** ascending [at_s]; first at 0.0 *)
+  llts : llt_spec list;
+  gc_period : Clock.time;  (** background vacuum/purge/vCutter cadence *)
+  sample_period_s : float;
+}
+
+val default : t
+(** 60 s, 16 workers, 4 reads + 2 writes per transaction, uniform
+    access over the default schema, GC every 10 ms, 1 s samples, no
+    LLTs. *)
+
+val pattern_at : t -> float -> Access.pattern
+(** The access pattern in force at a given simulated second. *)

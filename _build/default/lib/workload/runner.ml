@@ -1,0 +1,181 @@
+type result = {
+  engine_name : string;
+  throughput : (float * float) list;
+  version_space : (float * float) list;
+  redo : (float * float) list;
+  max_chain : (float * float) list;
+  splits : (float * float) list;
+  chain_cdf : (int * float) list;
+  latency_us : Histogram.t;  (* committed-transaction latency, 10 us buckets *)
+  commits : int;
+  conflicts : int;
+  llt_reads : int;
+  truncations : int;
+  latch_wait : Clock.time;
+  cut_delays : (Vclass.t * Clock.time) list;
+  driver : Driver.t option;
+}
+
+let run ~engine (cfg : Exp_config.t) =
+  let eng = engine cfg.Exp_config.schema in
+  let sched = Scheduler.create () in
+  let master_rng = Rng.create cfg.Exp_config.seed in
+  let horizon = Clock.seconds cfg.Exp_config.duration_s in
+  let commit_rate = Series.Rate.create ~bucket:1.0 "commits" in
+  let latency_us = Histogram.create ~bucket_width:10 () in
+  let conflicts = ref 0 in
+  let llt_reads = ref 0 in
+  (* Pre-build one sampler per phase so workers just look the pattern
+     up by time. *)
+  let samplers =
+    List.map
+      (fun { Exp_config.at_s; pattern } ->
+        (at_s, Access.create cfg.Exp_config.schema pattern))
+      (if cfg.Exp_config.phases = [] then [ { Exp_config.at_s = 0.; pattern = Access.Uniform } ]
+       else cfg.Exp_config.phases)
+  in
+  let sampler_at s =
+    let rec pick current = function
+      | [] -> current
+      | (at_s, sampler) :: rest -> if s >= at_s then pick sampler rest else current
+    in
+    match samplers with
+    | [] -> assert false
+    | (_, first) :: rest -> pick first rest
+  in
+  (* OLTP workers: each short transaction takes two scheduling steps —
+     begin first, then the operation body — so that transactions from
+     different workers genuinely overlap in simulated time (write-write
+     conflicts depend on that overlap). *)
+  let spawn_worker i =
+    let rng = Rng.split master_rng in
+    let pending = ref None in
+    Scheduler.spawn sched ~name:(Printf.sprintf "worker-%d" i) ~at:0 (fun now ->
+        match !pending with
+        | None ->
+            if now >= horizon then Scheduler.Finished
+            else begin
+              let txn, t = eng.Engine.begin_txn ~now in
+              pending := Some txn;
+              Scheduler.Sleep_until t
+            end
+        | Some txn ->
+            pending := None;
+            let access = sampler_at (Clock.to_seconds now) in
+            let t = ref now in
+            (try
+               for _ = 1 to cfg.Exp_config.reads_per_txn do
+                 let rid = Access.sample access rng in
+                 let _, t' = eng.Engine.read txn ~rid ~now:!t in
+                 t := t'
+               done;
+               for _ = 1 to cfg.Exp_config.writes_per_txn do
+                 let rid = Access.sample access rng in
+                 match eng.Engine.write txn ~rid ~payload:(Rng.int rng 1_000_000) ~now:!t with
+                 | Engine.Committed_path t' -> t := t'
+                 | Engine.Conflict t' ->
+                     t := t';
+                     raise Exit
+               done;
+               t := eng.Engine.commit txn ~now:!t;
+               Series.Rate.incr commit_rate ~time:(Clock.to_seconds !t);
+               Histogram.add latency_us ((!t - txn.Txn.begin_time) / 1_000)
+             with Exit ->
+               incr conflicts;
+               t := eng.Engine.abort txn ~now:!t);
+            Scheduler.Sleep_until !t)
+  in
+  for i = 0 to cfg.Exp_config.workers - 1 do
+    spawn_worker i
+  done;
+  (* LLT drivers: begin at [start_s], read random records continuously,
+     commit at the end of their lifetime. *)
+  List.iteri
+    (fun gi { Exp_config.start_s; duration_s; count } ->
+      for li = 0 to count - 1 do
+        let rng = Rng.split master_rng in
+        let uniform = Access.create cfg.Exp_config.schema Access.Uniform in
+        let state = ref None in
+        let llt_end = Clock.seconds (start_s +. duration_s) in
+        Scheduler.spawn sched
+          ~name:(Printf.sprintf "llt-%d-%d" gi li)
+          ~at:(Clock.seconds start_s)
+          (fun now ->
+            match !state with
+            | None ->
+                let txn, t = eng.Engine.begin_txn ~now in
+                state := Some txn;
+                Scheduler.Sleep_until t
+            | Some txn ->
+                if now >= llt_end || now >= horizon then begin
+                  let _ = eng.Engine.commit txn ~now in
+                  Scheduler.Finished
+                end
+                else begin
+                  let rid = Access.sample uniform rng in
+                  let _, t = eng.Engine.read txn ~rid ~now in
+                  incr llt_reads;
+                  Scheduler.Sleep_until t
+                end)
+      done)
+    cfg.Exp_config.llts;
+  (* Background GC (vacuum / purge / vCutter). *)
+  Scheduler.spawn sched ~name:"gc" ~at:cfg.Exp_config.gc_period (fun now ->
+      if now >= horizon then Scheduler.Finished
+      else begin
+        let t = eng.Engine.maintenance ~now in
+        Scheduler.Sleep_until (max t (now + cfg.Exp_config.gc_period))
+      end);
+  (* Metrics sampler. *)
+  let space_series = Series.create "space" in
+  let redo_series = Series.create "redo" in
+  let chain_series = Series.create "chain" in
+  let split_series = Series.create "splits" in
+  let sample_period = Clock.seconds cfg.Exp_config.sample_period_s in
+  let last_sample = ref { Engine.version_bytes = 0; redo_bytes = 0; max_chain = 0; splits = 0; truncations = 0; latch_wait = 0 } in
+  Scheduler.spawn sched ~name:"sampler" ~at:sample_period (fun now ->
+      let s = eng.Engine.sample () in
+      last_sample := s;
+      let sec = Clock.to_seconds now in
+      Series.add space_series ~time:sec ~value:(float_of_int s.Engine.version_bytes);
+      Series.add redo_series ~time:sec ~value:(float_of_int s.Engine.redo_bytes);
+      Series.add chain_series ~time:sec ~value:(float_of_int s.Engine.max_chain);
+      Series.add split_series ~time:sec ~value:(float_of_int s.Engine.splits);
+      if now >= horizon then Scheduler.Finished else Scheduler.Sleep_until (now + sample_period));
+  ignore (Scheduler.run sched ~until:horizon);
+  eng.Engine.finish ~now:horizon;
+  let final = eng.Engine.sample () in
+  let cdf = Histogram.cdf (eng.Engine.chain_histogram ()) in
+  {
+    engine_name = eng.Engine.name;
+    throughput = Series.Rate.per_second commit_rate;
+    version_space = Series.to_list space_series;
+    redo = Series.to_list redo_series;
+    max_chain = Series.to_list chain_series;
+    splits = Series.to_list split_series;
+    chain_cdf = cdf;
+    latency_us;
+    commits = Series.Rate.total commit_rate;
+    conflicts = !conflicts;
+    llt_reads = !llt_reads;
+    truncations = final.Engine.truncations;
+    latch_wait = final.Engine.latch_wait;
+    cut_delays =
+      (match eng.Engine.driver with
+      | Some d -> Version_store.cut_delays (Driver.store d)
+      | None -> []);
+    driver = eng.Engine.driver;
+  }
+
+let avg_throughput r ~between:(lo, hi) =
+  let xs =
+    List.filter_map (fun (t, v) -> if t >= lo && t <= hi then Some v else None) r.throughput
+  in
+  Stats.mean xs
+
+let final_space r = match List.rev r.version_space with (_, v) :: _ -> int_of_float v | [] -> 0
+
+let peak_space r =
+  List.fold_left (fun acc (_, v) -> max acc (int_of_float v)) 0 r.version_space
+
+let peak_chain r = List.fold_left (fun acc (_, v) -> max acc (int_of_float v)) 0 r.max_chain

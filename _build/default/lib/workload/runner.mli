@@ -1,0 +1,39 @@
+(** Discrete-event experiment runner.
+
+    Builds an engine, spawns worker processes (the OLTP mix), LLT driver
+    processes, a background GC process and a metrics sampler, then runs
+    the simulation and collects the series the paper's figures plot.
+
+    Fidelity note (documented in DESIGN.md): each worker computes one
+    whole short transaction per scheduling step, so a short
+    transaction's read view may reflect commits that complete within the
+    same step window. The error is bounded by one transaction duration
+    (tens of microseconds); LLTs — the phenomenon under study — live for
+    many seconds across thousands of steps and are modeled exactly. *)
+
+type result = {
+  engine_name : string;
+  throughput : (float * float) list;  (** (second, commits/s) *)
+  version_space : (float * float) list;  (** (second, bytes) *)
+  redo : (float * float) list;  (** (second, cumulative redo bytes) *)
+  max_chain : (float * float) list;  (** (second, longest valid chain) *)
+  splits : (float * float) list;  (** (second, cumulative page splits) *)
+  chain_cdf : (int * float) list;  (** final chain-length CDF (Fig 14) *)
+  latency_us : Histogram.t;  (** committed-transaction latency (10 us buckets) *)
+  commits : int;
+  conflicts : int;
+  llt_reads : int;
+  truncations : int;
+  latch_wait : Clock.time;  (** cumulative latch queueing time *)
+  cut_delays : (Vclass.t * Clock.time) list;  (** vDriver engines only *)
+  driver : Driver.t option;
+}
+
+val run : engine:(Schema.t -> Engine.t) -> Exp_config.t -> result
+
+val avg_throughput : result -> between:float * float -> float
+(** Mean commits/s over a closed time window. *)
+
+val final_space : result -> int
+val peak_space : result -> int
+val peak_chain : result -> int

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Atomic Classifier Clock Collab Domain Driver Prune_stats Read_view Siro State Timestamp Txn Txn_manager Vclass Vcutter Version Version_store Vsorter

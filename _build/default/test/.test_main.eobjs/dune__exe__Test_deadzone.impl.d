@@ -1,0 +1,1 @@
+test/test_deadzone.ml: Alcotest Gen List Prune QCheck QCheck_alcotest Txn Txn_manager Zone_set

@@ -1,0 +1,1 @@
+test/test_engines.ml: Alcotest Cc Classifier Clock Engine Histogram Inrow_engine List Mvcc_search Offrow_engine QCheck QCheck_alcotest Read_view Schema Siro_engine State Txn Txn_manager

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest List Test_core Test_core2 Test_deadzone Test_engines Test_model Test_more Test_sim Test_storage Test_txn Test_util Test_version Test_workload

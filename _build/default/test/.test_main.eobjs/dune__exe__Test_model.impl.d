@@ -1,0 +1,1 @@
+test/test_model.ml: Array Cc Classifier Clock Driver List Printf QCheck QCheck_alcotest Read_view Siro State Timestamp Txn Txn_manager Version

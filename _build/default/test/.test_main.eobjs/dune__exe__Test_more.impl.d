@@ -1,0 +1,1 @@
+test/test_more.ml: Access Alcotest Clock Costs Engine Exp_config Heap Histogram List Offrow_engine Read_view Rng Runner Schema Siro Siro_engine Table Version Wal

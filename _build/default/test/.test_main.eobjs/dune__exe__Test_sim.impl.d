@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Clock List Queue_model Resource Scheduler

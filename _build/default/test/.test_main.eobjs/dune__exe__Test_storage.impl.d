@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Buffer_pool Gen Heap List Lru Page QCheck QCheck_alcotest Wal

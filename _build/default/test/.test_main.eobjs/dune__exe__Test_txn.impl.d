@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Clock Commit_log List QCheck QCheck_alcotest Read_view Timestamp Txn Txn_manager

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fun Gen Histogram List QCheck QCheck_alcotest Rng Series Stats Vec Zipf

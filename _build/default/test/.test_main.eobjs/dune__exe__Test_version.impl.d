@@ -1,0 +1,1 @@
+test/test_version.ml: Alcotest Array Chain Classifier Clock Gen List Printf QCheck QCheck_alcotest Read_view Segment Vclass Version

@@ -1,0 +1,1 @@
+test/test_workload.ml: Access Alcotest Clock Exp_config Inrow_engine List Offrow_engine Rng Runner Schema Siro_engine

@@ -1,0 +1,280 @@
+(* Tests for repro_deadzone: Definition 3.4 zone construction and
+   Theorem 3.5 pruning, checked against the brute-force Definition 3.3
+   on randomized histories. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* -------------------------------------------------------------------- *)
+(* Zone construction (Definition 3.4) *)
+
+let test_zones_empty_live () =
+  let z = Zone_set.make ~live:[] ~now_ts:100 in
+  check_bool "single zone [-inf, CT]" true (Zone_set.zones z = [ (min_int, 100) ]);
+  check_int "no boundaries" 0 (Zone_set.boundary_count z)
+
+let test_zones_structure () =
+  let z = Zone_set.make ~live:[ 30; 10; 20 ] ~now_ts:100 in
+  check_bool "zones tile time" true
+    (Zone_set.zones z = [ (min_int, 10); (10, 20); (20, 30); (30, 100) ])
+
+let test_zones_reject_duplicates () =
+  Alcotest.check_raises "duplicates"
+    (Invalid_argument "Zone_set.make: duplicate begin timestamp") (fun () ->
+      ignore (Zone_set.make ~live:[ 5; 5 ] ~now_ts:10))
+
+let test_zones_reject_future_live () =
+  Alcotest.check_raises "live >= now"
+    (Invalid_argument "Zone_set.make: live begin timestamp not before now_ts") (fun () ->
+      ignore (Zone_set.make ~live:[ 10 ] ~now_ts:10))
+
+(* -------------------------------------------------------------------- *)
+(* Theorem 3.5 on the paper's running example (Figures 1 and 4) *)
+
+let test_prune_figure1 () =
+  (* Record A: versions A48=(48,50), A50=(50,97), A97=(97,inf as record).
+     A long transaction began at 49 and a short one at 100; CT=120. *)
+  let z = Zone_set.make ~live:[ 49; 100 ] ~now_ts:120 in
+  check_bool "A48 pinned by the LLT" false (Zone_set.prunable z ~vs:48 ~ve:50);
+  check_bool "A50 dead inside the wide zone [49,100]" true (Zone_set.prunable z ~vs:50 ~ve:97)
+
+let test_prune_empty_live_drops_everything () =
+  (* The "critical, overlooked rule": with no live transactions the
+     whole version set is reclaimable. *)
+  let z = Zone_set.make ~live:[] ~now_ts:1000 in
+  check_bool "any old version prunable" true (Zone_set.prunable z ~vs:1 ~ve:999);
+  check_bool "but not past CT" false (Zone_set.prunable z ~vs:1 ~ve:1000)
+
+let test_prune_boundary_strictness () =
+  let z = Zone_set.make ~live:[ 50 ] ~now_ts:100 in
+  (* Zones: [-inf,50], [50,100]. Strict containment required. *)
+  check_bool "ends exactly at boundary" false (Zone_set.prunable z ~vs:40 ~ve:50);
+  check_bool "starts exactly at boundary" false (Zone_set.prunable z ~vs:50 ~ve:60);
+  check_bool "strictly inside first" true (Zone_set.prunable z ~vs:40 ~ve:49);
+  check_bool "strictly inside second" true (Zone_set.prunable z ~vs:51 ~ve:60)
+
+let test_covers_segment () =
+  let z = Zone_set.make ~live:[ 50 ] ~now_ts:100 in
+  check_bool "segment inside" true (Zone_set.covers z ~lo:60 ~hi:80);
+  check_bool "segment straddles boundary" false (Zone_set.covers z ~lo:40 ~hi:60);
+  check_bool "point segment" true (Zone_set.covers z ~lo:70 ~hi:70)
+
+let test_prune_requires_valid_interval () =
+  let z = Zone_set.make ~live:[] ~now_ts:10 in
+  Alcotest.check_raises "vs >= ve" (Invalid_argument "Zone_set.prunable: requires vs < ve")
+    (fun () -> ignore (Zone_set.prunable z ~vs:5 ~ve:5))
+
+(* -------------------------------------------------------------------- *)
+(* dead_spec (Definition 3.3) sanity *)
+
+let test_dead_spec () =
+  check_bool "live inside" false (Prune.dead_spec ~live:[ 5 ] ~vs:1 ~ve:9);
+  check_bool "live outside" true (Prune.dead_spec ~live:[ 10 ] ~vs:1 ~ve:9);
+  check_bool "no live" true (Prune.dead_spec ~live:[] ~vs:1 ~ve:9);
+  check_bool "live at vs (strict)" true (Prune.dead_spec ~live:[ 1 ] ~vs:1 ~ve:9)
+
+(* -------------------------------------------------------------------- *)
+(* Property: Theorem 3.5 == Definition 3.3 on unique-timestamp
+   histories (both directions: prunability and completeness). *)
+
+(* Draw distinct timestamps and split them into live begin ts and a
+   version interval, with now beyond all of them. *)
+let theorem_case_gen =
+  QCheck.Gen.(
+    let* raw = list_size (2 -- 25) (1 -- 1000) in
+    let distinct = List.sort_uniq compare raw in
+    if List.length distinct < 2 then return None
+    else
+      let* shuffled = shuffle_l distinct in
+      match shuffled with
+      | a :: b :: live ->
+          let vs = min a b and ve = max a b in
+          return (Some (live, vs, ve))
+      | _ -> return None)
+
+let qcheck_theorem_matches_spec =
+  QCheck.Test.make ~name:"Theorem 3.5 <=> Definition 3.3 (unique ts)" ~count:2000
+    (QCheck.make theorem_case_gen)
+    (fun case ->
+      match case with
+      | None -> QCheck.assume_fail ()
+      | Some (live, vs, ve) ->
+          let now_ts = 2000 in
+          let z = Zone_set.make ~live ~now_ts in
+          Zone_set.prunable z ~vs ~ve = (Prune.dead_spec ~live ~vs ~ve && ve < now_ts))
+
+let qcheck_covers_matches_prunable =
+  QCheck.Test.make ~name:"segment covers == version prunable on same interval" ~count:1000
+    (QCheck.make theorem_case_gen)
+    (fun case ->
+      match case with
+      | None -> QCheck.assume_fail ()
+      | Some (live, vs, ve) ->
+          let z = Zone_set.make ~live ~now_ts:2000 in
+          (* covers uses a closed [lo,hi]; align by shrinking the open
+             interval's interior. *)
+          Zone_set.covers z ~lo:vs ~hi:ve = Zone_set.prunable z ~vs ~ve)
+
+(* -------------------------------------------------------------------- *)
+(* Read-view world: soundness of prunable_fast. *)
+
+(* Build a real manager history: writers commit in sequence creating a
+   version history for one record; some reader transactions stay live. *)
+let history_gen =
+  QCheck.Gen.(
+    let* writer_count = 2 -- 12 in
+    let* reader_starts = list_size (0 -- 6) (0 -- 100) in
+    return (writer_count, reader_starts))
+
+let build_history (writer_count, reader_starts) =
+  let mgr = Txn_manager.create () in
+  let readers = ref [] in
+  let version_bounds = ref [] in
+  let reader_starts = List.sort compare reader_starts in
+  let next_reader = ref reader_starts in
+  (* Interleave: before each writer, possibly start readers. *)
+  for i = 0 to writer_count - 1 do
+    (match !next_reader with
+    | r :: rest when r mod writer_count <= i ->
+        readers := Txn_manager.begin_txn mgr ~now:i :: !readers;
+        next_reader := rest
+    | _ :: _ | [] -> ());
+    let w = Txn_manager.begin_txn mgr ~now:i in
+    version_bounds := w.Txn.tid :: !version_bounds;
+    Txn_manager.commit mgr w ~now:i
+  done;
+  (mgr, List.rev !version_bounds, !readers)
+
+let qcheck_prunable_fast_sound =
+  QCheck.Test.make ~name:"prunable_fast never prunes a live snapshot read" ~count:500
+    (QCheck.make history_gen)
+    (fun case ->
+      let mgr, bounds, _readers = build_history case in
+      let zones = Zone_set.of_txn_manager mgr in
+      let views = Txn_manager.live_views mgr in
+      let log = Txn_manager.commit_log mgr in
+      (* All adjacent version intervals of the record's history. *)
+      let rec intervals = function
+        | a :: (b :: _ as rest) -> (a, b) :: intervals rest
+        | [ _ ] | [] -> []
+      in
+      List.for_all
+        (fun (vs, ve) ->
+          let fast = Prune.prunable_fast zones ~commit_log:log ~vs ~ve in
+          let someone_needs_it =
+            List.exists (fun v -> Prune.snapshot_read_of_view v ~vs ~ve) views
+          in
+          (not fast) || not someone_needs_it)
+        (intervals bounds))
+
+(* Regression for the subtlety documented in [Prune.commit_interval]: a
+   successor that *began* before the reader but *committed* after it
+   must not make the version prunable. Begin-timestamp intervals say
+   "prunable"; commit-time intervals correctly say "keep". *)
+let test_prune_commit_time_translation () =
+  let mgr = Txn_manager.create () in
+  let a = Txn_manager.begin_txn mgr ~now:0 in
+  Txn_manager.commit mgr a ~now:1;
+  let b = Txn_manager.begin_txn mgr ~now:2 in
+  let reader = Txn_manager.begin_txn mgr ~now:3 in
+  Txn_manager.commit mgr b ~now:4;
+  (* Version (a, b): reader began after b began, but before b committed,
+     so it is the reader's snapshot read. *)
+  let vs = a.Txn.tid and ve = b.Txn.tid in
+  check_bool "reader needs the version" true
+    (Prune.snapshot_read_of_view reader.Txn.view ~vs ~ve);
+  let zones = Zone_set.of_txn_manager mgr in
+  let log = Txn_manager.commit_log mgr in
+  (* The naive begin-ts zone check would prune: reader.tid > ve. *)
+  check_bool "begin-ts check is wrong here" true (Zone_set.prunable zones ~vs ~ve);
+  check_bool "commit-time check keeps it" false (Prune.prunable_fast zones ~commit_log:log ~vs ~ve);
+  (* Once the reader is gone, it becomes prunable. *)
+  Txn_manager.commit mgr reader ~now:5;
+  let zones = Zone_set.of_txn_manager mgr in
+  check_bool "prunable after reader commits" true
+    (Prune.prunable_fast zones ~commit_log:log ~vs ~ve)
+
+let qcheck_stale_zones_conservative =
+  QCheck.Test.make ~name:"stale zone snapshot cannot prune versions for new txns" ~count:500
+    (QCheck.make history_gen)
+    (fun case ->
+      let mgr, _bounds, _ = build_history case in
+      (* Snapshot zones now... *)
+      let stale_zones = Zone_set.of_txn_manager mgr in
+      let stale_views = Txn_manager.live_views mgr in
+      (* ...then the world moves on: new writers create new versions and
+         a new reader begins. *)
+      let w1 = Txn_manager.begin_txn mgr ~now:1000 in
+      Txn_manager.commit mgr w1 ~now:1001;
+      let w2 = Txn_manager.begin_txn mgr ~now:1002 in
+      let reader = Txn_manager.begin_txn mgr ~now:1004 in
+      Txn_manager.commit mgr w2 ~now:1005;
+      ignore stale_views;
+      (* The version (w1, w2) is the snapshot read of the new reader
+         (w2 was still active when it began); the stale snapshot must
+         not prune it. *)
+      let vs = w1.Txn.tid and ve = w2.Txn.tid in
+      let visible = Prune.snapshot_read_of_view reader.Txn.view ~vs ~ve in
+      let pruned =
+        Prune.prunable_fast stale_zones ~commit_log:(Txn_manager.commit_log mgr) ~vs ~ve
+      in
+      visible && not pruned)
+
+let qcheck_zone_structure =
+  QCheck.Test.make ~name:"Def 3.4: m live txns yield m+1 contiguous zones" ~count:300
+    QCheck.(list_of_size Gen.(0 -- 30) (int_range 1 999))
+    (fun raw ->
+      let live = List.sort_uniq compare raw in
+      let z = Zone_set.make ~live ~now_ts:1000 in
+      let zones = Zone_set.zones z in
+      List.length zones = List.length live + 1
+      && (* contiguous: each zone starts where the previous ended *)
+      fst (List.hd zones) = min_int
+      && snd (List.nth zones (List.length zones - 1)) = 1000
+      &&
+      let rec contiguous = function
+        | (_, e1) :: ((s2, _) :: _ as rest) -> e1 = s2 && contiguous rest
+        | [ _ ] | [] -> true
+      in
+      contiguous zones)
+
+let qcheck_prunable_antimonotone_in_interval =
+  (* Widening a version's interval can only make it harder to prune. *)
+  QCheck.Test.make ~name:"prunability is antimonotone in interval width" ~count:500
+    QCheck.(quad (list_of_size Gen.(0 -- 15) (int_range 1 500)) (int_range 1 400) (int_range 1 50) (int_range 1 50))
+    (fun (raw, vs, shrink_l, widen_r) ->
+      let live = List.sort_uniq compare raw in
+      let z = Zone_set.make ~live ~now_ts:1000 in
+      let ve = vs + shrink_l + 1 in
+      let wide_vs = max 0 (vs - widen_r) in
+      let wide_ve = min 999 (ve + widen_r) in
+      QCheck.assume (wide_vs < wide_ve);
+      (* wide interval prunable => narrow interval prunable *)
+      (not (Zone_set.prunable z ~vs:wide_vs ~ve:wide_ve)) || Zone_set.prunable z ~vs ~ve)
+
+let suites =
+  [
+    ( "deadzone.zones",
+      [
+        Alcotest.test_case "empty live set" `Quick test_zones_empty_live;
+        Alcotest.test_case "zone structure" `Quick test_zones_structure;
+        Alcotest.test_case "duplicate rejection" `Quick test_zones_reject_duplicates;
+        Alcotest.test_case "future live rejection" `Quick test_zones_reject_future_live;
+      ] );
+    ( "deadzone.prune",
+      [
+        Alcotest.test_case "figure 1 example" `Quick test_prune_figure1;
+        Alcotest.test_case "empty live drops all" `Quick test_prune_empty_live_drops_everything;
+        Alcotest.test_case "boundary strictness" `Quick test_prune_boundary_strictness;
+        Alcotest.test_case "segment covers" `Quick test_covers_segment;
+        Alcotest.test_case "interval validation" `Quick test_prune_requires_valid_interval;
+        Alcotest.test_case "dead_spec" `Quick test_dead_spec;
+        Alcotest.test_case "commit-time translation" `Quick test_prune_commit_time_translation;
+        QCheck_alcotest.to_alcotest qcheck_theorem_matches_spec;
+        QCheck_alcotest.to_alcotest qcheck_covers_matches_prunable;
+        QCheck_alcotest.to_alcotest qcheck_prunable_fast_sound;
+        QCheck_alcotest.to_alcotest qcheck_stale_zones_conservative;
+        QCheck_alcotest.to_alcotest qcheck_zone_structure;
+        QCheck_alcotest.to_alcotest qcheck_prunable_antimonotone_in_interval;
+      ] );
+  ]

@@ -1,0 +1,146 @@
+(* Odds and ends: validation paths, edge geometries, and cross-module
+   behaviours not covered by the main suites. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* -------------------------------------------------------------------- *)
+(* Schema *)
+
+let test_schema_validation () =
+  let s = Schema.default in
+  check_int "records" 48_000 (Schema.records s);
+  check_int "rid layout" 1_001 (Schema.rid s ~table:1 ~row:1);
+  check_bool "valid" true (Schema.valid_rid s 0);
+  check_bool "invalid" false (Schema.valid_rid s (Schema.records s));
+  Alcotest.check_raises "bad table" (Invalid_argument "Schema.rid") (fun () ->
+      ignore (Schema.rid s ~table:48 ~row:0))
+
+(* -------------------------------------------------------------------- *)
+(* Heap construction validation *)
+
+let test_heap_validation () =
+  let wal = Wal.create () in
+  Alcotest.check_raises "slot too big" (Invalid_argument "Heap.create: bad slot size")
+    (fun () ->
+      ignore (Heap.create ~page_bytes:100 ~slot_bytes:200 ~records:1 ~fill_factor:0.5 ~wal));
+  Alcotest.check_raises "fill factor" (Invalid_argument "Heap.create: bad fill factor")
+    (fun () ->
+      ignore (Heap.create ~page_bytes:100 ~slot_bytes:10 ~records:1 ~fill_factor:1.5 ~wal))
+
+let test_heap_one_record_per_page () =
+  (* Slot nearly fills the page: each record gets its own page, and a
+     single-record page never splits (keep = 0 guard). *)
+  let wal = Wal.create () in
+  let h = Heap.create ~page_bytes:1000 ~slot_bytes:900 ~records:3 ~fill_factor:1.0 ~wal in
+  check_int "one page each" 3 (Heap.page_count h);
+  (* Overflow it: no split possible, page just grows. *)
+  check_bool "no split possible" true (Heap.add_version_bytes h ~rid:0 ~bytes:500 = `Fits);
+  check_int "still 3 pages" 3 (Heap.page_count h)
+
+(* -------------------------------------------------------------------- *)
+(* Siro edge: visibility with an in-flight creator *)
+
+let test_siro_uncommitted_current_invisible () =
+  let slot = Siro.create ~rid:0 ~bytes:64 ~payload:5 ~vs:0 ~vs_time:0 in
+  ignore (Siro.update slot ~vs:10 ~vs_time:100 ~payload:6 ~bytes:64);
+  (* A reader whose view lists creator 10 as active must read the old
+     version even though the slot's current is newer. *)
+  let view = Read_view.make ~creator:12 ~actives:[ 10 ] ~high:12 in
+  (match Siro.read_inrow slot view with
+  | Some v -> check_int "reads predecessor" 5 v.Version.payload
+  | None -> Alcotest.fail "predecessor expected");
+  (* The creator itself reads its own write. *)
+  let own = Read_view.make ~creator:10 ~actives:[] ~high:10 in
+  match Siro.read_inrow slot own with
+  | Some v -> check_int "own write" 6 v.Version.payload
+  | None -> Alcotest.fail "own write expected"
+
+(* -------------------------------------------------------------------- *)
+(* Access / workload edges *)
+
+let test_access_single_row () =
+  let schema = { Schema.default with Schema.tables = 3; rows_per_table = 1 } in
+  let rng = Rng.create 5 in
+  let a = Access.create schema (Access.Zipfian 1.1) in
+  for _ = 1 to 100 do
+    let rid = Access.sample a rng in
+    check_int "always row 0" 0 (rid mod schema.Schema.rows_per_table)
+  done
+
+let test_runner_latency_histogram () =
+  let cfg =
+    {
+      Exp_config.default with
+      Exp_config.duration_s = 0.3;
+      workers = 2;
+      schema = { Schema.default with Schema.tables = 1; rows_per_table = 20 };
+    }
+  in
+  let r = Runner.run ~engine:(fun s -> Siro_engine.create ~flavor:`Mysql s) cfg in
+  check_bool "latencies recorded" true (Histogram.total r.Runner.latency_us = r.Runner.commits);
+  check_bool "p99 sane" true (Histogram.percentile r.Runner.latency_us 0.99 < 100_000)
+
+(* -------------------------------------------------------------------- *)
+(* Recovery-time ordering across engines *)
+
+let test_recovery_time_ordering () =
+  let schema = { Schema.default with Schema.tables = 1; rows_per_table = 64 } in
+  let crash_time make =
+    let eng : Engine.t = make schema in
+    let now = ref 0 in
+    let tick () = now := !now + Clock.us 100; !now in
+    (* Committed history pinned by a reader, then one loser. *)
+    let pin, _ = eng.Engine.begin_txn ~now:(tick ()) in
+    ignore pin;
+    for i = 1 to 500 do
+      let txn, _ = eng.Engine.begin_txn ~now:(tick ()) in
+      (match eng.Engine.write txn ~rid:(i mod 64) ~payload:i ~now:(tick ()) with
+      | Engine.Committed_path _ | Engine.Conflict _ -> ());
+      ignore (eng.Engine.commit txn ~now:(tick ()))
+    done;
+    let loser, _ = eng.Engine.begin_txn ~now:(tick ()) in
+    (match eng.Engine.write loser ~rid:0 ~payload:(-1) ~now:(tick ()) with
+    | Engine.Committed_path _ | Engine.Conflict _ -> ());
+    eng.Engine.crash ()
+  in
+  let t_mysql = crash_time (fun s -> Offrow_engine.create s) in
+  let t_siro = crash_time (fun s -> Siro_engine.create ~flavor:`Mysql s) in
+  check_bool "SIRO recovery is near-instant vs undo-header scan" true (t_siro * 10 < t_mysql)
+
+(* -------------------------------------------------------------------- *)
+(* Costs / table helpers *)
+
+let test_costs_positive () =
+  let c = Costs.default in
+  check_bool "all durations positive" true
+    (List.for_all
+       (fun x -> x > 0)
+       [
+         c.Costs.txn_begin; c.Costs.txn_commit; c.Costs.read_base; c.Costs.write_base;
+         c.Costs.version_hop; c.Costs.io_latency; c.Costs.page_split; c.Costs.undo_header;
+         c.Costs.llb_lookup; c.Costs.segment_append; c.Costs.zone_check; c.Costs.gc_page_scan;
+         c.Costs.think;
+       ])
+
+let test_table_formatting () =
+  check_bool "bytes" true (Table.fmt_bytes 512 = "512 B");
+  check_bool "kib" true (Table.fmt_bytes 2048 = "2.0 KiB");
+  check_bool "mib" true (Table.fmt_bytes (3 * 1024 * 1024) = "3.0 MiB");
+  check_bool "float" true (Table.fmt_f ~decimals:2 1.005 = "1.00" || Table.fmt_f ~decimals:2 1.005 = "1.01")
+
+let suites =
+  [
+    ( "more.edges",
+      [
+        Alcotest.test_case "schema validation" `Quick test_schema_validation;
+        Alcotest.test_case "heap validation" `Quick test_heap_validation;
+        Alcotest.test_case "single-record pages" `Quick test_heap_one_record_per_page;
+        Alcotest.test_case "siro in-flight visibility" `Quick test_siro_uncommitted_current_invisible;
+        Alcotest.test_case "single-row zipf" `Quick test_access_single_row;
+        Alcotest.test_case "latency histogram" `Quick test_runner_latency_histogram;
+        Alcotest.test_case "recovery ordering" `Quick test_recovery_time_ordering;
+        Alcotest.test_case "cost model sanity" `Quick test_costs_positive;
+        Alcotest.test_case "table formatting" `Quick test_table_formatting;
+      ] );
+  ]

@@ -1,0 +1,207 @@
+(* Tests for repro_txn: read views, commit log, transaction manager. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* -------------------------------------------------------------------- *)
+(* Read_view *)
+
+let view ~creator ~actives ~high = Read_view.make ~creator ~actives ~high
+
+let test_view_committed_before () =
+  (* View of T10: actives {4, 7} at its begin; high = 10. *)
+  let v = view ~creator:10 ~actives:[ 7; 4 ] ~high:10 in
+  check_bool "old committed" true (Read_view.committed_before v 2);
+  check_bool "active not committed" false (Read_view.committed_before v 4);
+  check_bool "active not committed" false (Read_view.committed_before v 7);
+  check_bool "future not committed" false (Read_view.committed_before v 11);
+  check_bool "own writes visible" true (Read_view.committed_before v 10);
+  check_bool "infinity never committed" false (Read_view.committed_before v Timestamp.infinity)
+
+let test_view_snapshot_read () =
+  let v = view ~creator:10 ~actives:[ 7 ] ~high:10 in
+  (* Version (2, 5): both creators committed before T10 -> superseded. *)
+  check_bool "superseded" false (Read_view.snapshot_read v ~vs:2 ~ve:5);
+  (* Version (5, 7): successor's creator was active -> snapshot read. *)
+  check_bool "successor uncommitted" true (Read_view.snapshot_read v ~vs:5 ~ve:7);
+  (* Version (5, 12): successor began after the view -> snapshot read. *)
+  check_bool "successor future" true (Read_view.snapshot_read v ~vs:5 ~ve:12);
+  (* Version (7, 12): creator was active -> not visible. *)
+  check_bool "creator active" false (Read_view.snapshot_read v ~vs:7 ~ve:12);
+  (* Current record by an old committed creator. *)
+  check_bool "current record" true (Read_view.snapshot_read v ~vs:5 ~ve:Timestamp.infinity)
+
+let test_view_own_update () =
+  (* Definition 3.1's "except what T_k updates": T10's own version is
+     its snapshot read, and the version it superseded is not. *)
+  let v = view ~creator:10 ~actives:[] ~high:10 in
+  check_bool "own version read" true (Read_view.snapshot_read v ~vs:10 ~ve:Timestamp.infinity);
+  check_bool "superseded by own write" false (Read_view.snapshot_read v ~vs:5 ~ve:10)
+
+let test_view_invalid () =
+  Alcotest.check_raises "active >= high" (Invalid_argument "Read_view.make: active ts >= high")
+    (fun () -> ignore (view ~creator:10 ~actives:[ 11 ] ~high:10));
+  Alcotest.check_raises "creator active"
+    (Invalid_argument "Read_view.make: creator listed active") (fun () ->
+      ignore (view ~creator:5 ~actives:[ 5 ] ~high:10))
+
+let test_view_horizon () =
+  let v = view ~creator:10 ~actives:[ 3; 8 ] ~high:10 in
+  check_int "horizon is min active" 3 (Read_view.oldest_visible_horizon v);
+  let v' = view ~creator:10 ~actives:[] ~high:10 in
+  check_int "horizon is creator when alone" 10 (Read_view.oldest_visible_horizon v')
+
+(* -------------------------------------------------------------------- *)
+(* Commit_log *)
+
+let test_commit_log () =
+  let log = Commit_log.create () in
+  Commit_log.record log ~tid:3 (Commit_log.Committed_at 9);
+  Commit_log.record log ~tid:5 (Commit_log.Aborted_at 11);
+  check_bool "committed" true (Commit_log.is_committed log 3);
+  check_bool "aborted not committed" false (Commit_log.is_committed log 5);
+  check_bool "unknown not committed" false (Commit_log.is_committed log 42);
+  check_int "finished" 2 (Commit_log.finished log);
+  Alcotest.check_raises "duplicate" (Invalid_argument "Commit_log.record: duplicate status")
+    (fun () -> Commit_log.record log ~tid:3 (Commit_log.Committed_at 12))
+
+(* -------------------------------------------------------------------- *)
+(* Txn_manager *)
+
+let test_mgr_begin_commit () =
+  let mgr = Txn_manager.create () in
+  let t1 = Txn_manager.begin_txn mgr ~now:0 in
+  let t2 = Txn_manager.begin_txn mgr ~now:10 in
+  check_bool "distinct tids" true (t1.Txn.tid <> t2.Txn.tid);
+  check_int "two live" 2 (Txn_manager.live_count mgr);
+  check_bool "sorted live ts" true (Txn_manager.live_begin_ts mgr = [ t1.Txn.tid; t2.Txn.tid ]);
+  Txn_manager.commit mgr t1 ~now:20;
+  check_int "one live" 1 (Txn_manager.live_count mgr);
+  check_bool "committed state" true (t1.Txn.state = Txn.Committed);
+  check_bool "commit ts assigned" true (t1.Txn.commit_ts <> None);
+  check_bool "logged" true (Commit_log.is_committed (Txn_manager.commit_log mgr) t1.Txn.tid)
+
+let test_mgr_view_sees_earlier_commit () =
+  let mgr = Txn_manager.create () in
+  let t1 = Txn_manager.begin_txn mgr ~now:0 in
+  Txn_manager.commit mgr t1 ~now:1;
+  let t2 = Txn_manager.begin_txn mgr ~now:2 in
+  check_bool "t2 sees t1" true (Read_view.committed_before t2.Txn.view t1.Txn.tid);
+  let t3 = Txn_manager.begin_txn mgr ~now:3 in
+  check_bool "t3 does not see live t2" false (Read_view.committed_before t3.Txn.view t2.Txn.tid)
+
+let test_mgr_abort () =
+  let mgr = Txn_manager.create () in
+  let t = Txn_manager.begin_txn mgr ~now:0 in
+  Txn_manager.abort mgr t ~now:5;
+  check_bool "aborted" true (t.Txn.state = Txn.Aborted);
+  check_int "none live" 0 (Txn_manager.live_count mgr);
+  check_int "counted" 1 (Txn_manager.aborted mgr);
+  Alcotest.check_raises "double finish"
+    (Invalid_argument "Txn_manager: transaction not active") (fun () ->
+      Txn_manager.commit mgr t ~now:6)
+
+let test_mgr_oldest_horizon () =
+  let mgr = Txn_manager.create () in
+  check_bool "no live" true (Txn_manager.oldest_active mgr = None);
+  check_int "horizon = oracle when empty" (Txn_manager.oracle mgr)
+    (Txn_manager.oldest_visible_horizon mgr);
+  let t1 = Txn_manager.begin_txn mgr ~now:0 in
+  let _t2 = Txn_manager.begin_txn mgr ~now:1 in
+  check_bool "oldest is t1" true (Txn_manager.oldest_active mgr = Some t1.Txn.tid);
+  check_int "horizon at t1" t1.Txn.tid (Txn_manager.oldest_visible_horizon mgr)
+
+let test_mgr_llt_views () =
+  let mgr = Txn_manager.create () in
+  let old_txn = Txn_manager.begin_txn mgr ~now:0 in
+  let _young = Txn_manager.begin_txn mgr ~now:(Clock.ms 900) in
+  let llts = Txn_manager.llt_views mgr ~now:(Clock.ms 1000) ~delta_llt:(Clock.ms 500) in
+  check_int "only the old txn is an LLT" 1 (List.length llts);
+  check_bool "it is old_txn's view" true
+    ((List.hd llts).Read_view.creator = old_txn.Txn.tid)
+
+let test_mgr_avg_duration () =
+  let mgr = Txn_manager.create () in
+  check_int "zero before commits" 0 (Txn_manager.avg_txn_duration mgr);
+  let t = Txn_manager.begin_txn mgr ~now:0 in
+  Txn_manager.commit mgr t ~now:(Clock.us 100);
+  check_int "first commit sets avg" (Clock.us 100) (Txn_manager.avg_txn_duration mgr);
+  let t2 = Txn_manager.begin_txn mgr ~now:0 in
+  Txn_manager.commit mgr t2 ~now:(Clock.us 200);
+  let avg = Txn_manager.avg_txn_duration mgr in
+  check_bool "EWMA between samples" true (avg > Clock.us 100 && avg < Clock.us 200)
+
+(* -------------------------------------------------------------------- *)
+(* Properties *)
+
+(* Generate a history: n transactions begin in order; a random subset is
+   still live. *)
+let history_gen =
+  QCheck.Gen.(
+    let* n = 2 -- 40 in
+    let* live_mask = list_repeat n bool in
+    return (n, live_mask))
+
+let qcheck_view_consistency =
+  QCheck.Test.make ~name:"manager views agree with live table" ~count:200
+    (QCheck.make history_gen) (fun (n, live_mask) ->
+      let mgr = Txn_manager.create () in
+      let txns = List.init n (fun i -> Txn_manager.begin_txn mgr ~now:i) in
+      List.iteri
+        (fun i txn -> if not (List.nth live_mask i) then Txn_manager.commit mgr txn ~now:(n + i))
+        txns;
+      let live = Txn_manager.live_begin_ts mgr in
+      let expected =
+        List.filteri (fun i _ -> List.nth live_mask i) txns
+        |> List.map (fun (t : Txn.t) -> t.Txn.tid)
+      in
+      live = expected)
+
+let qcheck_snapshot_read_unique =
+  (* For any view and any record's version list (contiguous intervals),
+     exactly one version is the snapshot read if the creator of the
+     oldest version is visible. *)
+  QCheck.Test.make ~name:"at most one snapshot read per record" ~count:300
+    QCheck.(pair (int_bound 30) (int_bound 30))
+    (fun (k, m) ->
+      let mgr = Txn_manager.create () in
+      (* Create m committed writer txns to build a version history. *)
+      let writers = List.init (max 1 m) (fun i -> Txn_manager.begin_txn mgr ~now:i) in
+      List.iteri (fun i w -> Txn_manager.commit mgr w ~now:(100 + i)) writers;
+      let reader = Txn_manager.begin_txn mgr ~now:200 in
+      ignore k;
+      let ts = List.map (fun (w : Txn.t) -> w.Txn.tid) writers in
+      let bounds = ts @ [ Timestamp.infinity ] in
+      let rec intervals = function
+        | a :: (b :: _ as rest) -> (a, b) :: intervals rest
+        | [ _ ] | [] -> []
+      in
+      let vs_ve = intervals bounds in
+      let hits =
+        List.filter (fun (vs, ve) -> Read_view.snapshot_read reader.Txn.view ~vs ~ve) vs_ve
+      in
+      List.length hits = 1)
+
+let suites =
+  [
+    ( "txn.read_view",
+      [
+        Alcotest.test_case "committed_before" `Quick test_view_committed_before;
+        Alcotest.test_case "snapshot_read" `Quick test_view_snapshot_read;
+        Alcotest.test_case "own update" `Quick test_view_own_update;
+        Alcotest.test_case "invalid construction" `Quick test_view_invalid;
+        Alcotest.test_case "visibility horizon" `Quick test_view_horizon;
+      ] );
+    ("txn.commit_log", [ Alcotest.test_case "statuses" `Quick test_commit_log ]);
+    ( "txn.manager",
+      [
+        Alcotest.test_case "begin/commit" `Quick test_mgr_begin_commit;
+        Alcotest.test_case "view of earlier commit" `Quick test_mgr_view_sees_earlier_commit;
+        Alcotest.test_case "abort" `Quick test_mgr_abort;
+        Alcotest.test_case "oldest/horizon" `Quick test_mgr_oldest_horizon;
+        Alcotest.test_case "llt identification" `Quick test_mgr_llt_views;
+        Alcotest.test_case "avg duration EWMA" `Quick test_mgr_avg_duration;
+        QCheck_alcotest.to_alcotest qcheck_view_consistency;
+        QCheck_alcotest.to_alcotest qcheck_snapshot_read_unique;
+      ] );
+  ]

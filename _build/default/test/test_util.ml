@@ -1,0 +1,348 @@
+(* Tests for repro_util: rng, zipf, histogram, stats, series, vec. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* -------------------------------------------------------------------- *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check_bool "same stream" true (Rng.next_int64 a = Rng.next_int64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.next_int64 a = Rng.next_int64 b then incr same
+  done;
+  check_bool "streams differ" true (!same < 4)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int rng 13 in
+    check_bool "in range" true (x >= 0 && x < 13)
+  done
+
+let test_rng_int_in_range () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1_000 do
+    let x = Rng.int_in_range rng ~lo:5 ~hi:9 in
+    check_bool "in inclusive range" true (x >= 5 && x <= 9)
+  done
+
+let test_rng_int_invalid () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_float_range () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 10_000 do
+    let f = Rng.float rng in
+    check_bool "in [0,1)" true (f >= 0. && f < 1.)
+  done
+
+let test_rng_float_mean () =
+  let rng = Rng.create 23 in
+  let n = 50_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Rng.float rng
+  done;
+  let mean = !sum /. float_of_int n in
+  check_bool "mean near 0.5" true (abs_float (mean -. 0.5) < 0.01)
+
+let test_rng_split_independent () =
+  let parent = Rng.create 5 in
+  let child = Rng.split parent in
+  check_bool "child differs from parent continuation" true
+    (Rng.next_int64 child <> Rng.next_int64 parent)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 3 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+(* -------------------------------------------------------------------- *)
+(* Zipf *)
+
+let test_zipf_bounds () =
+  let rng = Rng.create 17 in
+  let z = Zipf.create ~n:100 ~s:1.2 in
+  for _ = 1 to 10_000 do
+    let k = Zipf.sample z rng in
+    check_bool "rank in range" true (k >= 0 && k < 100)
+  done
+
+let test_zipf_rank0_most_popular () =
+  let rng = Rng.create 29 in
+  let z = Zipf.create ~n:1000 ~s:1.1 in
+  let counts = Array.make 1000 0 in
+  for _ = 1 to 100_000 do
+    let k = Zipf.sample z rng in
+    counts.(k) <- counts.(k) + 1
+  done;
+  check_bool "rank 0 beats rank 10" true (counts.(0) > counts.(10));
+  check_bool "rank 0 beats rank 500" true (counts.(0) > counts.(500));
+  check_bool "heavy head" true (counts.(0) > 100_000 / 10)
+
+let test_zipf_exponent_skew () =
+  (* Higher exponent concentrates more mass on rank 0. *)
+  let count_rank0 s =
+    let rng = Rng.create 31 in
+    let z = Zipf.create ~n:1000 ~s in
+    let c = ref 0 in
+    for _ = 1 to 50_000 do
+      if Zipf.sample z rng = 0 then incr c
+    done;
+    !c
+  in
+  check_bool "1.3 skews harder than 0.8" true (count_rank0 1.3 > count_rank0 0.8)
+
+let test_zipf_near_one_exponent () =
+  (* s = 1.0 is the YCSB formula's singularity; ours must handle it. *)
+  let rng = Rng.create 37 in
+  let z = Zipf.create ~n:50 ~s:1.0 in
+  for _ = 1 to 5_000 do
+    let k = Zipf.sample z rng in
+    check_bool "in range at s=1" true (k >= 0 && k < 50)
+  done
+
+let test_zipf_single_item () =
+  let rng = Rng.create 41 in
+  let z = Zipf.create ~n:1 ~s:2.0 in
+  for _ = 1 to 100 do
+    check_int "only rank" 0 (Zipf.sample z rng)
+  done
+
+let test_zipf_invalid () =
+  Alcotest.check_raises "n=0" (Invalid_argument "Zipf.create: n must be positive") (fun () ->
+      ignore (Zipf.create ~n:0 ~s:1.0));
+  Alcotest.check_raises "s=0" (Invalid_argument "Zipf.create: s must be positive") (fun () ->
+      ignore (Zipf.create ~n:10 ~s:0.))
+
+(* -------------------------------------------------------------------- *)
+(* Histogram *)
+
+let test_histogram_counts () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 1; 1; 2; 5 ];
+  check_int "total" 4 (Histogram.total h);
+  check_int "max" 5 (Histogram.max_value h);
+  check_int "le 1" 2 (Histogram.count_le h 1);
+  check_int "le 4" 3 (Histogram.count_le h 4);
+  check_int "le 5" 4 (Histogram.count_le h 5)
+
+let test_histogram_cdf () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 0; 1; 2; 3 ];
+  let cdf = Histogram.cdf h in
+  check_int "four points" 4 (List.length cdf);
+  let _, last = List.nth cdf 3 in
+  check_bool "cdf ends at 1" true (abs_float (last -. 1.0) < 1e-9)
+
+let test_histogram_percentile () =
+  let h = Histogram.create () in
+  for v = 1 to 100 do
+    Histogram.add h v
+  done;
+  check_int "p50" 50 (Histogram.percentile h 0.5);
+  check_int "p99" 99 (Histogram.percentile h 0.99);
+  check_int "p100" 100 (Histogram.percentile h 1.0)
+
+let test_histogram_buckets () =
+  let h = Histogram.create ~bucket_width:10 () in
+  List.iter (Histogram.add h) [ 0; 9; 10; 19; 25 ];
+  (* buckets: [0,9] x2, [10,19] x2, [20,29] x1; representatives 9/19/29 *)
+  check_int "le 9" 2 (Histogram.count_le h 9);
+  check_int "le 19" 4 (Histogram.count_le h 19);
+  check_int "le 29" 5 (Histogram.count_le h 29)
+
+let test_histogram_empty () =
+  let h = Histogram.create () in
+  check_int "empty total" 0 (Histogram.total h);
+  check_bool "empty cdf" true (Histogram.cdf h = [])
+
+let test_histogram_add_many () =
+  let h = Histogram.create () in
+  Histogram.add_many h 3 ~count:7;
+  check_int "bulk total" 7 (Histogram.total h);
+  check_int "bulk le" 7 (Histogram.count_le h 3)
+
+(* -------------------------------------------------------------------- *)
+(* Stats *)
+
+let feq a b = abs_float (a -. b) < 1e-9
+
+let test_stats_mean () =
+  check_bool "mean" true (feq (Stats.mean [ 1.; 2.; 3. ]) 2.);
+  check_bool "empty mean" true (feq (Stats.mean []) 0.)
+
+let test_stats_stddev () =
+  check_bool "constant" true (feq (Stats.stddev [ 4.; 4.; 4. ]) 0.);
+  check_bool "spread" true (feq (Stats.stddev [ 1.; 3. ]) 1.)
+
+let test_stats_percentile () =
+  let xs = [ 5.; 1.; 4.; 2.; 3. ] in
+  check_bool "p50 = 3" true (feq (Stats.percentile xs 0.5) 3.);
+  check_bool "p100 = 5" true (feq (Stats.percentile xs 1.0) 5.)
+
+let test_stats_min_max () =
+  check_bool "min" true (feq (Stats.minimum [ 3.; 1.; 2. ]) 1.);
+  check_bool "max" true (feq (Stats.maximum [ 3.; 1.; 2. ]) 3.)
+
+(* -------------------------------------------------------------------- *)
+(* Series *)
+
+let test_series_order () =
+  let s = Series.create "space" in
+  Series.add s ~time:0. ~value:1.;
+  Series.add s ~time:1. ~value:2.;
+  check_bool "points" true (Series.to_list s = [ (0., 1.); (1., 2.) ]);
+  check_bool "last" true (Series.last s = Some (1., 2.))
+
+let test_rate_buckets () =
+  let r = Series.Rate.create ~bucket:1.0 "commits" in
+  Series.Rate.incr r ~time:0.1;
+  Series.Rate.incr r ~time:0.9;
+  Series.Rate.incr r ~time:1.5;
+  check_int "total" 3 (Series.Rate.total r);
+  match Series.Rate.per_second r with
+  | [ (_, r0); (_, r1) ] ->
+      check_bool "bucket 0 rate 2" true (feq r0 2.);
+      check_bool "bucket 1 rate 1" true (feq r1 1.)
+  | other -> Alcotest.failf "expected 2 buckets, got %d" (List.length other)
+
+let test_rate_empty_windows () =
+  let r = Series.Rate.create "sparse" in
+  Series.Rate.incr r ~time:3.5;
+  check_int "windows up to last event" 4 (List.length (Series.Rate.per_second r))
+
+(* -------------------------------------------------------------------- *)
+(* Vec *)
+
+let test_vec_push_get () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  check_int "length" 100 (Vec.length v);
+  check_int "get 57" 57 (Vec.get v 57);
+  Vec.set v 57 (-1);
+  check_int "set" (-1) (Vec.get v 57)
+
+let test_vec_pop () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  check_bool "pop 3" true (Vec.pop v = Some 3);
+  check_int "len 2" 2 (Vec.length v);
+  ignore (Vec.pop v);
+  ignore (Vec.pop v);
+  check_bool "empty pop" true (Vec.pop v = None)
+
+let test_vec_filter_in_place () =
+  let v = Vec.of_list [ 1; 2; 3; 4; 5; 6 ] in
+  Vec.filter_in_place (fun x -> x mod 2 = 0) v;
+  Alcotest.(check (list int)) "evens kept in order" [ 2; 4; 6 ] (Vec.to_list v)
+
+let test_vec_bounds () =
+  let v = Vec.of_list [ 1 ] in
+  Alcotest.check_raises "oob" (Invalid_argument "Vec: index out of bounds") (fun () ->
+      ignore (Vec.get v 1))
+
+let test_vec_drop_front () =
+  let v = Vec.of_list [ 1; 2; 3; 4; 5 ] in
+  Vec.drop_front v 2;
+  Alcotest.(check (list int)) "prefix dropped" [ 3; 4; 5 ] (Vec.to_list v);
+  Vec.drop_front v 0;
+  check_int "zero is a no-op" 3 (Vec.length v);
+  Vec.drop_front v 3;
+  check_int "can drop all" 0 (Vec.length v);
+  Alcotest.check_raises "too many" (Invalid_argument "Vec.drop_front") (fun () ->
+      Vec.drop_front v 1)
+
+let test_vec_fold_exists () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  check_int "fold sum" 6 (Vec.fold_left ( + ) 0 v);
+  check_bool "exists" true (Vec.exists (fun x -> x = 2) v);
+  check_bool "not exists" false (Vec.exists (fun x -> x = 9) v)
+
+(* -------------------------------------------------------------------- *)
+
+let qcheck_histogram_percentile_monotone =
+  QCheck.Test.make ~name:"histogram percentile is monotone in p" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (int_bound 1000))
+    (fun values ->
+      QCheck.assume (values <> []);
+      let h = Histogram.create () in
+      List.iter (Histogram.add h) values;
+      Histogram.percentile h 0.3 <= Histogram.percentile h 0.9)
+
+let qcheck_vec_roundtrip =
+  QCheck.Test.make ~name:"vec of_list/to_list roundtrip" ~count:200
+    QCheck.(list int)
+    (fun xs -> Vec.to_list (Vec.of_list xs) = xs)
+
+let suites =
+  [
+    ( "util.rng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+        Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+        Alcotest.test_case "int_in_range" `Quick test_rng_int_in_range;
+        Alcotest.test_case "invalid bound" `Quick test_rng_int_invalid;
+        Alcotest.test_case "float range" `Quick test_rng_float_range;
+        Alcotest.test_case "float mean" `Quick test_rng_float_mean;
+        Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+        Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+      ] );
+    ( "util.zipf",
+      [
+        Alcotest.test_case "bounds" `Quick test_zipf_bounds;
+        Alcotest.test_case "rank 0 most popular" `Quick test_zipf_rank0_most_popular;
+        Alcotest.test_case "exponent increases skew" `Quick test_zipf_exponent_skew;
+        Alcotest.test_case "s = 1.0 singularity" `Quick test_zipf_near_one_exponent;
+        Alcotest.test_case "single item" `Quick test_zipf_single_item;
+        Alcotest.test_case "invalid args" `Quick test_zipf_invalid;
+      ] );
+    ( "util.histogram",
+      [
+        Alcotest.test_case "counts" `Quick test_histogram_counts;
+        Alcotest.test_case "cdf" `Quick test_histogram_cdf;
+        Alcotest.test_case "percentile" `Quick test_histogram_percentile;
+        Alcotest.test_case "bucket widths" `Quick test_histogram_buckets;
+        Alcotest.test_case "empty" `Quick test_histogram_empty;
+        Alcotest.test_case "add_many" `Quick test_histogram_add_many;
+        QCheck_alcotest.to_alcotest qcheck_histogram_percentile_monotone;
+      ] );
+    ( "util.stats",
+      [
+        Alcotest.test_case "mean" `Quick test_stats_mean;
+        Alcotest.test_case "stddev" `Quick test_stats_stddev;
+        Alcotest.test_case "percentile" `Quick test_stats_percentile;
+        Alcotest.test_case "min/max" `Quick test_stats_min_max;
+      ] );
+    ( "util.series",
+      [
+        Alcotest.test_case "ordered points" `Quick test_series_order;
+        Alcotest.test_case "rate buckets" `Quick test_rate_buckets;
+        Alcotest.test_case "empty windows" `Quick test_rate_empty_windows;
+      ] );
+    ( "util.vec",
+      [
+        Alcotest.test_case "push/get/set" `Quick test_vec_push_get;
+        Alcotest.test_case "pop" `Quick test_vec_pop;
+        Alcotest.test_case "filter_in_place" `Quick test_vec_filter_in_place;
+        Alcotest.test_case "drop_front" `Quick test_vec_drop_front;
+        Alcotest.test_case "bounds checks" `Quick test_vec_bounds;
+        Alcotest.test_case "fold/exists" `Quick test_vec_fold_exists;
+        QCheck_alcotest.to_alcotest qcheck_vec_roundtrip;
+      ] );
+  ]

@@ -1,0 +1,330 @@
+(* Tests for repro_version: versions, chains (holes/fixup), segments,
+   classifier. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let mk_version ?(rid = 0) ?(bytes = 100) ?(payload = 0) ~vs ~ve () =
+  Version.make ~rid ~vs ~ve ~vs_time:(vs * 1000) ~ve_time:(ve * 1000) ~bytes ~payload
+
+(* A view that sees everything committed up to [high], nothing active. *)
+let view_at high = Read_view.make ~creator:high ~actives:[] ~high
+
+(* -------------------------------------------------------------------- *)
+(* Version *)
+
+let test_version_basics () =
+  let v = mk_version ~vs:1 ~ve:5 () in
+  check_int "interval" 4000 (Version.update_interval v);
+  check_bool "not current" false (Version.is_current v);
+  Alcotest.check_raises "vs >= ve" (Invalid_argument "Version.make: requires vs < ve")
+    (fun () -> ignore (mk_version ~vs:5 ~ve:5 ()))
+
+(* -------------------------------------------------------------------- *)
+(* Chain *)
+
+(* Build a chain with versions (1,2),(2,3),...,(n,n+1), oldest pushed
+   first (push order is relocation order: oldest relocates first). *)
+let build_chain n =
+  let chain = Chain.create 0 in
+  let nodes =
+    List.init n (fun i ->
+        let v = mk_version ~vs:(10 * (i + 1)) ~ve:(10 * (i + 2)) ~payload:(i + 1) () in
+        Chain.push_newest chain v ~seg_id:0)
+  in
+  (chain, nodes)
+
+let test_chain_push_and_ends () =
+  let chain, _ = build_chain 3 in
+  check_int "live length" 3 (Chain.live_length chain);
+  (match (Chain.head chain, Chain.tail chain) with
+  | Some h, Some t ->
+      check_int "head newest" 30 h.Chain.version.Version.vs;
+      check_int "tail oldest" 10 t.Chain.version.Version.vs
+  | _ -> Alcotest.fail "missing ends");
+  check_bool "invariants" true (Chain.check_invariants chain = Ok ())
+
+let test_chain_out_of_order_rejected () =
+  let chain = Chain.create 0 in
+  ignore (Chain.push_newest chain (mk_version ~vs:5 ~ve:6 ()) ~seg_id:0);
+  Alcotest.check_raises "out of order"
+    (Invalid_argument "Chain.push_newest: out-of-order relocation") (fun () ->
+      ignore (Chain.push_newest chain (mk_version ~vs:2 ~ve:3 ()) ~seg_id:0))
+
+let test_chain_find_visible () =
+  let chain, _ = build_chain 5 in
+  (* A reader that began at ts 35 (sees creators 10..30 committed): its
+     snapshot read is the version (30,40). *)
+  let v = view_at 35 in
+  match Chain.find_visible chain v with
+  | Some (node, hops) ->
+      check_int "version (30,40)" 30 node.Chain.version.Version.vs;
+      check_bool "hops counted" true (hops >= 0)
+  | None -> Alcotest.fail "expected a visible version"
+
+let test_chain_trim_at_tail () =
+  let chain, nodes = build_chain 4 in
+  (* Deleting the oldest node trims; no hole. *)
+  Chain.delete_node chain (List.nth nodes 0);
+  check_int "live 3" 3 (Chain.live_length chain);
+  check_int "no holes" 0 (Chain.holes chain);
+  check_bool "invariants" true (Chain.check_invariants chain = Ok ())
+
+let test_chain_trim_at_head () =
+  let chain, nodes = build_chain 4 in
+  Chain.delete_node chain (List.nth nodes 3);
+  check_int "live 3" 3 (Chain.live_length chain);
+  check_int "no holes" 0 (Chain.holes chain);
+  match Chain.head chain with
+  | Some h -> check_int "new head" 30 h.Chain.version.Version.vs
+  | None -> Alcotest.fail "head missing"
+
+let test_chain_interior_hole () =
+  let chain, nodes = build_chain 5 in
+  (* Cut-I: one interior deletion -> tolerated hole. *)
+  Chain.delete_node chain (List.nth nodes 2);
+  check_int "one hole" 1 (Chain.holes chain);
+  check_int "live 4" 4 (Chain.live_length chain);
+  check_bool "invariants" true (Chain.check_invariants chain = Ok ());
+  (* Versions on both sides remain reachable (Figure 8's example). *)
+  check_bool "older side reachable" true (Chain.reachable chain (List.nth nodes 0));
+  check_bool "newer side reachable" true (Chain.reachable chain (List.nth nodes 4));
+  check_bool "deleted not reachable" false (Chain.reachable chain (List.nth nodes 2))
+
+let test_chain_find_visible_across_hole () =
+  let chain, nodes = build_chain 5 in
+  Chain.delete_node chain (List.nth nodes 2);
+  (* (10,20) is only reachable from the tail now. *)
+  let old_reader = view_at 15 in
+  (match Chain.find_visible chain old_reader with
+  | Some (node, _) -> check_int "found oldest from tail" 10 node.Chain.version.Version.vs
+  | None -> Alcotest.fail "old version must stay reachable");
+  (* (40,50) from the head. *)
+  let new_reader = view_at 45 in
+  match Chain.find_visible chain new_reader with
+  | Some (node, _) -> check_int "found newest from head" 40 node.Chain.version.Version.vs
+  | None -> Alcotest.fail "new version must stay reachable"
+
+let test_chain_second_hole_triggers_fixup () =
+  let chain, nodes = build_chain 7 in
+  Chain.delete_node chain (List.nth nodes 2);
+  check_int "one hole tolerated" 1 (Chain.holes chain);
+  check_int "no fixups yet" 0 (Chain.fixups chain);
+  (* Cut-II: a second, non-adjacent interior deletion must trigger the
+     preemptive Fixup and return to the 0-hole state. *)
+  Chain.delete_node chain (List.nth nodes 4);
+  check_int "fixed up" 0 (Chain.holes chain);
+  check_int "one fixup" 1 (Chain.fixups chain);
+  check_int "live 5" 5 (Chain.live_length chain);
+  check_bool "invariants" true (Chain.check_invariants chain = Ok ());
+  (* After fixup everything live is reachable again from the head. *)
+  List.iteri
+    (fun i node ->
+      if i <> 2 && i <> 4 then
+        check_bool (Printf.sprintf "node %d reachable" i) true (Chain.reachable chain node))
+    nodes
+
+let test_chain_adjacent_deletion_extends_hole () =
+  let chain, nodes = build_chain 6 in
+  Chain.delete_node chain (List.nth nodes 2);
+  (* Deleting the neighbour extends the same run: still one hole. *)
+  Chain.delete_node chain (List.nth nodes 3);
+  check_int "still one hole" 1 (Chain.holes chain);
+  check_int "no fixup needed" 0 (Chain.fixups chain);
+  check_bool "invariants" true (Chain.check_invariants chain = Ok ())
+
+let test_chain_delete_all () =
+  let chain, nodes = build_chain 4 in
+  List.iter (Chain.delete_node chain) nodes;
+  check_int "empty" 0 (Chain.live_length chain);
+  check_bool "no ends" true (Chain.head chain = None && Chain.tail chain = None);
+  check_bool "invariants" true (Chain.check_invariants chain = Ok ())
+
+let test_chain_delete_idempotent () =
+  let chain, nodes = build_chain 3 in
+  let n = List.nth nodes 1 in
+  Chain.delete_node chain n;
+  Chain.delete_node chain n;
+  check_int "deleted once" 2 (Chain.live_length chain)
+
+(* Property: under random deletion orders, invariants always hold and
+   every live version stays reachable — the representation invariant of
+   §3.4. *)
+let qcheck_chain_random_cuts =
+  QCheck.Test.make ~name:"representation invariant under random cuts" ~count:500
+    QCheck.(pair (int_range 1 20) (list_of_size Gen.(0 -- 30) (int_bound 19)))
+    (fun (n, kill_order) ->
+      let chain, nodes = build_chain n in
+      let arr = Array.of_list nodes in
+      List.iter (fun i -> if i < n then Chain.delete_node chain arr.(i)) kill_order;
+      Chain.check_invariants chain = Ok ()
+      && Array.for_all
+           (fun node -> node.Chain.deleted || Chain.reachable chain node)
+           arr)
+
+let qcheck_chain_visibility_after_cuts =
+  (* Whatever we cut, a version that is still the snapshot read of some
+     view must be findable via the two-ended traversal. *)
+  QCheck.Test.make ~name:"live snapshot reads stay findable" ~count:500
+    QCheck.(triple (int_range 2 15) (list_of_size Gen.(0 -- 10) (int_bound 14)) (int_range 2 16))
+    (fun (n, kill_order, reader_ts) ->
+      let chain, nodes = build_chain n in
+      let arr = Array.of_list nodes in
+      List.iter (fun i -> if i < n then Chain.delete_node chain arr.(i)) kill_order;
+      let view = view_at ((10 * reader_ts) + 5) in
+      let wanted =
+        Array.to_list arr
+        |> List.find_opt (fun node ->
+               (not node.Chain.deleted)
+               && Read_view.snapshot_read view ~vs:node.Chain.version.Version.vs
+                    ~ve:node.Chain.version.Version.ve)
+      in
+      match wanted with
+      | None -> true
+      | Some node -> (
+          match Chain.find_visible chain view with
+          | Some (found, _) -> found == node
+          | None -> false))
+
+(* -------------------------------------------------------------------- *)
+(* Segment *)
+
+let test_segment_fill_and_descriptor () =
+  let chain = Chain.create 0 in
+  let seg = Segment.create ~id:7 ~cls:Vclass.Hot ~cap_bytes:250 ~now:0 in
+  check_bool "empty" true (Segment.is_empty seg);
+  let n1 = Chain.push_newest chain (mk_version ~vs:3 ~ve:8 ()) ~seg_id:(-1) in
+  Segment.add seg n1;
+  check_int "locator updated" 7 n1.Chain.seg_id;
+  let n2 = Chain.push_newest chain (mk_version ~vs:8 ~ve:12 ()) ~seg_id:(-1) in
+  Segment.add seg n2;
+  let id, vmin, vmax = Segment.descriptor seg in
+  check_int "id" 7 id;
+  check_int "vmin" 3 vmin;
+  check_int "vmax" 12 vmax;
+  check_bool "full for next 100" false (Segment.fits seg ~bytes:100);
+  Alcotest.check_raises "overflow" (Invalid_argument "Segment.add: overflow") (fun () ->
+      Segment.add seg (Chain.push_newest chain (mk_version ~vs:12 ~ve:13 ()) ~seg_id:(-1)))
+
+let test_segment_compact () =
+  let chain = Chain.create 0 in
+  let seg = Segment.create ~id:0 ~cls:Vclass.Hot ~cap_bytes:1000 ~now:0 in
+  let nodes =
+    List.init 4 (fun i ->
+        let n = Chain.push_newest chain (mk_version ~vs:(i + 1) ~ve:(i + 2) ()) ~seg_id:0 in
+        Segment.add seg n;
+        n)
+  in
+  Chain.delete_node chain (List.nth nodes 0);
+  Chain.delete_node chain (List.nth nodes 3);
+  Segment.compact seg;
+  check_int "two survivors" 2 (Segment.version_count seg);
+  check_int "bytes recomputed" 200 seg.Segment.used_bytes;
+  let _, vmin, vmax = Segment.descriptor seg in
+  check_int "vmin tightened" 2 vmin;
+  check_int "vmax tightened" 4 vmax
+
+let test_segment_lifecycle () =
+  let chain = Chain.create 0 in
+  let seg = Segment.create ~id:0 ~cls:Vclass.Llt ~cap_bytes:1000 ~now:50 in
+  Segment.add seg (Chain.push_newest chain (mk_version ~vs:1 ~ve:2 ()) ~seg_id:0);
+  check_bool "no delay before cut" true (Segment.cut_delay seg = None);
+  Segment.harden seg ~now:100;
+  check_bool "hardened" true (seg.Segment.state = Segment.Hardened);
+  Alcotest.check_raises "double harden" (Invalid_argument "Segment.harden: segment not in buffer")
+    (fun () -> Segment.harden seg ~now:200);
+  Segment.mark_cut seg ~now:400;
+  check_bool "cut delay" true (Segment.cut_delay seg = Some 300)
+
+let test_segment_empty_descriptor () =
+  let seg = Segment.create ~id:0 ~cls:Vclass.Cold ~cap_bytes:100 ~now:0 in
+  Alcotest.check_raises "no descriptor when unfilled"
+    (Invalid_argument "Segment.descriptor: empty segment") (fun () ->
+      ignore (Segment.descriptor seg))
+
+(* -------------------------------------------------------------------- *)
+(* Classifier *)
+
+let classifier = Classifier.create ~delta_hot:(Clock.ms 5) ~delta_llt:(Clock.seconds 1.) ()
+
+let test_classifier_hot_cold () =
+  let hot =
+    Version.make ~rid:0 ~vs:1 ~ve:2 ~vs_time:0 ~ve_time:(Clock.ms 1) ~bytes:10 ~payload:0
+  in
+  let cold =
+    Version.make ~rid:0 ~vs:1 ~ve:2 ~vs_time:0 ~ve_time:(Clock.ms 50) ~bytes:10 ~payload:0
+  in
+  check_bool "short interval is hot" true
+    (Classifier.classify classifier ~llt_views:[] hot = Vclass.Hot);
+  check_bool "long interval is cold" true
+    (Classifier.classify classifier ~llt_views:[] cold = Vclass.Cold)
+
+let test_classifier_llt_pinning () =
+  (* An LLT that began at ts 5 pins the version (3, 8). *)
+  let llt_view = Read_view.make ~creator:5 ~actives:[] ~high:5 in
+  let pinned =
+    Version.make ~rid:0 ~vs:3 ~ve:8 ~vs_time:0 ~ve_time:(Clock.ms 1) ~bytes:10 ~payload:0
+  in
+  let unpinned =
+    Version.make ~rid:0 ~vs:6 ~ve:8 ~vs_time:0 ~ve_time:(Clock.ms 1) ~bytes:10 ~payload:0
+  in
+  check_bool "pinned goes to VC_llt" true
+    (Classifier.classify classifier ~llt_views:[ llt_view ] pinned = Vclass.Llt);
+  check_bool "unpinned stays hot" true
+    (Classifier.classify classifier ~llt_views:[ llt_view ] unpinned = Vclass.Hot)
+
+let test_classifier_vulnerability_window () =
+  (* The same pinned version is misclassified when the LLT has not yet
+     been identified (empty llt_views) — the vulnerability window. *)
+  let pinned =
+    Version.make ~rid:0 ~vs:3 ~ve:8 ~vs_time:0 ~ve_time:(Clock.ms 1) ~bytes:10 ~payload:0
+  in
+  check_bool "misclassified as hot" true
+    (Classifier.classify classifier ~llt_views:[] pinned = Vclass.Hot)
+
+let test_classifier_delta_of_avg () =
+  check_int "multiple of avg" (Clock.ms 100)
+    (Classifier.delta_llt_of_avg ~multiple:10 ~avg_txn:(Clock.ms 10));
+  check_int "floored" (Clock.ms 1) (Classifier.delta_llt_of_avg ~multiple:10 ~avg_txn:0)
+
+let test_vclass_indexing () =
+  List.iter
+    (fun cls -> check_bool "roundtrip" true (Vclass.of_index (Vclass.to_index cls) = cls))
+    Vclass.all;
+  check_int "count" (List.length Vclass.all) Vclass.count
+
+let suites =
+  [
+    ("version.version", [ Alcotest.test_case "basics" `Quick test_version_basics ]);
+    ( "version.chain",
+      [
+        Alcotest.test_case "push and ends" `Quick test_chain_push_and_ends;
+        Alcotest.test_case "out-of-order rejected" `Quick test_chain_out_of_order_rejected;
+        Alcotest.test_case "find_visible" `Quick test_chain_find_visible;
+        Alcotest.test_case "trim at tail" `Quick test_chain_trim_at_tail;
+        Alcotest.test_case "trim at head" `Quick test_chain_trim_at_head;
+        Alcotest.test_case "interior hole tolerated" `Quick test_chain_interior_hole;
+        Alcotest.test_case "two-ended traversal" `Quick test_chain_find_visible_across_hole;
+        Alcotest.test_case "Cut-II triggers fixup" `Quick test_chain_second_hole_triggers_fixup;
+        Alcotest.test_case "adjacent deletes share hole" `Quick test_chain_adjacent_deletion_extends_hole;
+        Alcotest.test_case "delete all" `Quick test_chain_delete_all;
+        Alcotest.test_case "idempotent delete" `Quick test_chain_delete_idempotent;
+        QCheck_alcotest.to_alcotest qcheck_chain_random_cuts;
+        QCheck_alcotest.to_alcotest qcheck_chain_visibility_after_cuts;
+      ] );
+    ( "version.segment",
+      [
+        Alcotest.test_case "fill and descriptor" `Quick test_segment_fill_and_descriptor;
+        Alcotest.test_case "compact" `Quick test_segment_compact;
+        Alcotest.test_case "lifecycle and cut delay" `Quick test_segment_lifecycle;
+        Alcotest.test_case "empty descriptor" `Quick test_segment_empty_descriptor;
+      ] );
+    ( "version.classifier",
+      [
+        Alcotest.test_case "hot/cold split" `Quick test_classifier_hot_cold;
+        Alcotest.test_case "LLT pinning" `Quick test_classifier_llt_pinning;
+        Alcotest.test_case "vulnerability window" `Quick test_classifier_vulnerability_window;
+        Alcotest.test_case "delta from avg txn" `Quick test_classifier_delta_of_avg;
+        Alcotest.test_case "class indexing" `Quick test_vclass_indexing;
+      ] );
+  ]

@@ -1,0 +1,154 @@
+(* Workload library tests: access patterns, phase configs, and the
+   discrete-event runner end to end on every engine. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let tiny_schema =
+  { Schema.default with Schema.tables = 2; rows_per_table = 50; record_bytes = 64 }
+
+(* -------------------------------------------------------------------- *)
+(* Access *)
+
+let test_access_rids_valid () =
+  let rng = Rng.create 1 in
+  List.iter
+    (fun pattern ->
+      let a = Access.create tiny_schema pattern in
+      for _ = 1 to 5_000 do
+        check_bool "valid rid" true (Schema.valid_rid tiny_schema (Access.sample a rng))
+      done)
+    [ Access.Uniform; Access.Zipfian 1.2 ]
+
+let test_access_zipf_skews_rows () =
+  let rng = Rng.create 2 in
+  let a = Access.create tiny_schema (Access.Zipfian 1.2) in
+  let row0 = ref 0 and total = 10_000 in
+  for _ = 1 to total do
+    let rid = Access.sample a rng in
+    if rid mod tiny_schema.Schema.rows_per_table = 0 then incr row0
+  done;
+  (* Row 0 of each table is the hottest; uniform would give ~2%. *)
+  check_bool "row 0 is hot" true (!row0 > total / 10)
+
+let test_pattern_to_string () =
+  check_bool "uniform" true (Access.pattern_to_string Access.Uniform = "uniform");
+  check_bool "zipf" true (Access.pattern_to_string (Access.Zipfian 1.2) = "zipf(1.20)")
+
+(* -------------------------------------------------------------------- *)
+(* Exp_config *)
+
+let test_phases () =
+  let cfg =
+    {
+      Exp_config.default with
+      Exp_config.phases =
+        [
+          { Exp_config.at_s = 0.; pattern = Access.Uniform };
+          { Exp_config.at_s = 10.; pattern = Access.Zipfian 1.2 };
+        ];
+    }
+  in
+  check_bool "phase 1" true (Exp_config.pattern_at cfg 5. = Access.Uniform);
+  check_bool "phase boundary" true (Exp_config.pattern_at cfg 10. = Access.Zipfian 1.2);
+  check_bool "phase 2" true (Exp_config.pattern_at cfg 30. = Access.Zipfian 1.2)
+
+(* -------------------------------------------------------------------- *)
+(* Runner *)
+
+let small_cfg ?(llts = []) ?(duration_s = 0.5) () =
+  {
+    Exp_config.default with
+    Exp_config.name = "test";
+    duration_s;
+    workers = 4;
+    reads_per_txn = 2;
+    writes_per_txn = 1;
+    schema = tiny_schema;
+    llts;
+    sample_period_s = 0.1;
+    gc_period = Clock.ms 5;
+  }
+
+let engines =
+  [
+    ("pg", fun schema -> Inrow_engine.create schema);
+    ("mysql", fun schema -> Offrow_engine.create schema);
+    ("pg-vdriver", fun schema -> Siro_engine.create ~flavor:`Pg schema);
+    ("mysql-vdriver", fun schema -> Siro_engine.create ~flavor:`Mysql schema);
+  ]
+
+let test_runner_smoke (name, engine) () =
+  let r = Runner.run ~engine (small_cfg ()) in
+  check_bool (name ^ " commits") true (r.Runner.commits > 100);
+  check_bool "throughput series" true (List.length r.Runner.throughput >= 1);
+  check_bool "space series sampled" true (List.length r.Runner.version_space >= 3);
+  check_bool "cdf covers all records" true (r.Runner.chain_cdf <> []);
+  check_bool "no llt reads without llts" true (r.Runner.llt_reads = 0)
+
+let test_runner_deterministic () =
+  let engine = List.assoc "mysql-vdriver" engines in
+  let r1 = Runner.run ~engine (small_cfg ()) in
+  let r2 = Runner.run ~engine (small_cfg ()) in
+  check_int "same seed, same commits" r1.Runner.commits r2.Runner.commits;
+  check_int "same conflicts" r1.Runner.conflicts r2.Runner.conflicts;
+  let r3 = Runner.run ~engine { (small_cfg ()) with Exp_config.seed = 7 } in
+  check_bool "different seed, different run" true (r3.Runner.commits <> r1.Runner.commits)
+
+let test_runner_with_llt () =
+  let llts = [ { Exp_config.start_s = 0.1; duration_s = 0.3; count = 2 } ] in
+  let engine = List.assoc "mysql-vdriver" engines in
+  let r = Runner.run ~engine (small_cfg ~llts ~duration_s:0.6 ()) in
+  check_bool "llt performed reads" true (r.Runner.llt_reads > 10);
+  check_bool "oltp kept committing" true (r.Runner.commits > 100)
+
+let test_runner_llt_hurts_vanilla () =
+  (* The headline effect, as a regression test: the same LLT hurts the
+     vanilla engine far more than the vDriver engine. *)
+  let llts = [ { Exp_config.start_s = 0.2; duration_s = 1.2; count = 2 } ] in
+  let cfg =
+    {
+      (small_cfg ~llts ~duration_s:1.5 ()) with
+      Exp_config.workers = 8;
+      schema = { tiny_schema with Schema.rows_per_table = 100 };
+    }
+  in
+  let vanilla = Runner.run ~engine:(List.assoc "pg" engines) cfg in
+  let vdriver = Runner.run ~engine:(List.assoc "pg-vdriver" engines) cfg in
+  let drop (r : Runner.result) =
+    let before = Runner.avg_throughput r ~between:(0.0, 0.19) in
+    let during = Runner.avg_throughput r ~between:(0.8, 1.4) in
+    during /. before
+  in
+  check_bool "vanilla degrades more" true (drop vanilla < drop vdriver);
+  check_bool "vdriver space stays lower" true
+    (Runner.peak_space vdriver < Runner.peak_space vanilla)
+
+let test_helpers () =
+  let engine = List.assoc "pg" engines in
+  let r = Runner.run ~engine (small_cfg ()) in
+  check_bool "avg throughput positive" true (Runner.avg_throughput r ~between:(0., 1.) > 0.);
+  check_bool "peak >= final" true (Runner.peak_space r >= 0);
+  check_bool "peak chain sane" true (Runner.peak_chain r >= 1)
+
+let suites =
+  [
+    ( "workload.access",
+      [
+        Alcotest.test_case "rids valid" `Quick test_access_rids_valid;
+        Alcotest.test_case "zipf skews rows" `Quick test_access_zipf_skews_rows;
+        Alcotest.test_case "pattern names" `Quick test_pattern_to_string;
+      ] );
+    ("workload.config", [ Alcotest.test_case "phases" `Quick test_phases ]);
+    ( "workload.runner",
+      List.map
+        (fun (name, _ as e) ->
+          Alcotest.test_case ("smoke " ^ name) `Quick (test_runner_smoke e))
+        engines
+      @ [
+          Alcotest.test_case "deterministic" `Quick test_runner_deterministic;
+          Alcotest.test_case "llt reads" `Quick test_runner_with_llt;
+          Alcotest.test_case "llt hurts vanilla more" `Slow test_runner_llt_hurts_vanilla;
+          Alcotest.test_case "helpers" `Quick test_helpers;
+        ] );
+  ]
