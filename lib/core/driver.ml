@@ -39,6 +39,16 @@ let flush_all t ~now = Vsorter.flush_all t ~now
 let abort_cleanup (_ : t) = ()
 
 let crash_restart (t : t) =
+  (* Versions still buffered (open or sealed segments) die with the
+     restart without ever being pruned or stored; account them so the
+     Prune_stats conservation law survives the crash (§3.5). *)
+  let buffered =
+    Array.fold_left
+      (fun acc -> function Some seg -> acc + Segment.live_count seg | None -> acc)
+      0 t.State.open_segments
+    + Vec.fold_left (fun acc seg -> acc + Segment.live_count seg) 0 t.State.sealed
+  in
+  Prune_stats.note_lost t.State.stats buffered;
   Llb.clear t.State.llb;
   Version_store.clear t.State.store;
   Buffer_pool.clear t.State.store_cache;

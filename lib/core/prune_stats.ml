@@ -3,6 +3,7 @@ type t = {
   prune1 : int array;
   prune2 : int array;
   stored : int array;
+  mutable lost : int;
 }
 
 let create () =
@@ -11,6 +12,7 @@ let create () =
     prune1 = Array.make Vclass.count 0;
     prune2 = Array.make Vclass.count 0;
     stored = Array.make Vclass.count 0;
+    lost = 0;
   }
 
 let bump a cls = a.(Vclass.to_index cls) <- a.(Vclass.to_index cls) + 1
@@ -18,9 +20,14 @@ let note_relocated t = t.relocated <- t.relocated + 1
 let note_prune1 t cls = bump t.prune1 cls
 let note_prune2 t cls = bump t.prune2 cls
 let note_stored t cls = bump t.stored cls
+let note_lost t n =
+  if n < 0 then invalid_arg "Prune_stats.note_lost: negative count";
+  t.lost <- t.lost + n
+
 let sum = Array.fold_left ( + ) 0
 let relocated t = t.relocated
-let in_flight t = t.relocated - sum t.prune1 - sum t.prune2 - sum t.stored
+let lost t = t.lost
+let in_flight t = t.relocated - sum t.prune1 - sum t.prune2 - sum t.stored - t.lost
 let prune1 t cls = t.prune1.(Vclass.to_index cls)
 let prune2 t cls = t.prune2.(Vclass.to_index cls)
 let stored t cls = t.stored.(Vclass.to_index cls)
@@ -30,6 +37,7 @@ let stored_total t = sum t.stored
 
 let reset t =
   t.relocated <- 0;
+  t.lost <- 0;
   Array.fill t.prune1 0 Vclass.count 0;
   Array.fill t.prune2 0 Vclass.count 0;
   Array.fill t.stored 0 Vclass.count 0
@@ -41,4 +49,5 @@ let pp fmt t =
       Format.fprintf fmt "%-4s 1st=%d 2nd=%d stored=%d@ " (Vclass.to_string cls) (prune1 t cls)
         (prune2 t cls) (stored t cls))
     Vclass.all;
+  if t.lost > 0 then Format.fprintf fmt "lost=%d@ " t.lost;
   Format.fprintf fmt "@]"

@@ -13,10 +13,19 @@ val note_relocated : t -> unit
 val note_prune1 : t -> Vclass.t -> unit
 val note_prune2 : t -> Vclass.t -> unit
 val note_stored : t -> Vclass.t -> unit
+
+val note_lost : t -> int -> unit
+(** Versions that were buffered when a crash wiped the vBuffer: neither
+    pruned nor stored, gone with the restart (§3.5). Keeps the
+    conservation law [relocated = prune1 + prune2 + stored + lost +
+    in_flight] exact across crashes — the fault harness asserts it. *)
+
 val relocated : t -> int
+val lost : t -> int
+
 val in_flight : t -> int
-(** Relocated versions still buffered in open segments (not yet pruned
-    or hardened). *)
+(** Relocated versions still buffered in open or sealed segments (not
+    yet pruned, hardened, or lost to a crash). *)
 
 val prune1 : t -> Vclass.t -> int
 val prune2 : t -> Vclass.t -> int

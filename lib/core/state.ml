@@ -6,6 +6,7 @@ type config = {
   store_cache_segments : int;
   classification : [ `Three_way | `Single_class ];
   pruning : [ `Dead_zones | `Oldest_active ];
+  zone_widen_sabotage : int;
 }
 
 let default_config =
@@ -17,7 +18,10 @@ let default_config =
     store_cache_segments = 128;
     classification = `Three_way;
     pruning = `Dead_zones;
+    zone_widen_sabotage = 0;
   }
+
+type prune_origin = [ `Prune1 | `Prune2 | `Cut ]
 
 type t = {
   config : config;
@@ -36,6 +40,8 @@ type t = {
   seg_index : (int, Segment.t) Hashtbl.t;
   mutable next_seg_id : int;
   mutable zone_refreshes : int;
+  mutable prune_audit :
+    (now:Clock.time -> origin:prune_origin -> lo:Timestamp.t -> hi:Timestamp.t -> unit) option;
 }
 
 let create ?(config = default_config) txns =
@@ -57,7 +63,36 @@ let create ?(config = default_config) txns =
     seg_index = Hashtbl.create 256;
     next_seg_id = 0;
     zone_refreshes = 0;
+    prune_audit = None;
   }
+
+(* The pruning policy, shared by vSorter (per-version and per-sealed-
+   segment prunes) and vCutter (hardened-segment covers check). [lo, hi]
+   is a commit-time visibility interval or a segment's [v_min, v_max]
+   descriptor.
+
+   [zone_widen_sabotage] deliberately weakens the containment test so
+   that chaos campaigns can prove the invariant checker catches an
+   over-eager rule; it must stay 0 in real runs. The sound test blocks
+   pruning on any live boundary in the closed [lo, hi] — one unit of
+   slack per side beyond strict visibility, since timestamps are unique
+   integers. Sabotage level [w] blocks only boundaries in
+   [lo+w+1, hi-w-1]: already at [w = 1] a transaction that began
+   adjacent to an interval edge (its begin ts strictly inside the
+   version's visibility interval) no longer blocks, so the rule is
+   genuinely unsound — the paper's "widen the zone by one" mistake. *)
+let interval_dead t ~lo ~hi =
+  let w = t.config.zone_widen_sabotage in
+  match t.config.pruning with
+  | `Dead_zones ->
+      if w = 0 then Zone_set.covers t.zones ~lo ~hi
+      else
+        let lo = lo + w + 1 and hi = hi - w - 1 in
+        lo > hi || Zone_set.covers t.zones ~lo ~hi
+  | `Oldest_active -> hi - w < Zone_set.oldest_boundary t.zones
+
+let audit_prune t ~now ~origin ~lo ~hi =
+  match t.prune_audit with Some f -> f ~now ~origin ~lo ~hi | None -> ()
 
 let refresh_zones t ~now =
   t.zones <- Zone_set.of_txn_manager t.txns;

@@ -18,9 +18,19 @@ type config = {
       (** ablation: [`Oldest_active] replaces Theorem 3.5 with the
           age-old criterion (reclaim only below the oldest live
           transaction) *)
+  zone_widen_sabotage : int;
+      (** chaos-testing only: widen every dead zone by this many
+          timestamp units before the containment test, making pruning
+          deliberately unsound. 0 (the default, and the only sound
+          value) in real runs; the fault harness uses nonzero values to
+          prove its invariant checker catches a broken rule. *)
 }
 
 val default_config : config
+
+type prune_origin = [ `Prune1 | `Prune2 | `Cut ]
+(** Which stage discarded a version: relocation-time prune, sealed
+    segment drop, or vCutter's hardened-segment cut. *)
 
 type t = {
   config : config;
@@ -39,9 +49,25 @@ type t = {
   seg_index : (int, Segment.t) Hashtbl.t;  (** live segments by id *)
   mutable next_seg_id : int;
   mutable zone_refreshes : int;
+  mutable prune_audit :
+    (now:Clock.time -> origin:prune_origin -> lo:Timestamp.t -> hi:Timestamp.t -> unit) option;
+      (** online safety oracle: called with the commit-time visibility
+          interval of {e every} version the instance discards, at the
+          moment of the discard. The fault harness installs a checker
+          that replays Definition 3.3 against the live table. *)
 }
 
 val create : ?config:config -> Txn_manager.t -> t
+
+val interval_dead : t -> lo:Timestamp.t -> hi:Timestamp.t -> bool
+(** The configured pruning predicate over the current zone snapshot
+    ([`Dead_zones] containment or the [`Oldest_active] horizon),
+    including any [zone_widen_sabotage]. Shared by vSorter and vCutter
+    so the policy — and the sabotage — has exactly one definition. *)
+
+val audit_prune :
+  t -> now:Clock.time -> origin:prune_origin -> lo:Timestamp.t -> hi:Timestamp.t -> unit
+(** Notify the installed {!field-prune_audit} hook, if any. *)
 
 val refresh_zones : t -> now:Clock.time -> unit
 (** Rebuild [zones], [zone_views] and [llt_views] from the live table. *)

@@ -25,6 +25,8 @@ let cut_segment (st : State.t) seg ~now =
              with
             | `Won -> ()
             | `Lost -> Chain.delete_node chain node);
+            State.audit_prune st ~now ~origin:`Cut ~lo:node.Chain.prune_lo
+              ~hi:node.Chain.prune_hi;
             incr versions
         | None -> assert false
       end)
@@ -42,12 +44,7 @@ let step (st : State.t) ~now ~max_segments =
   Version_store.iter_hardened st.State.store (fun seg ->
       incr scanned;
       let _, vmin, vmax = Segment.descriptor seg in
-      let dead =
-        match st.State.config.State.pruning with
-        | `Dead_zones -> Zone_set.covers st.State.zones ~lo:vmin ~hi:vmax
-        | `Oldest_active -> vmax < Zone_set.oldest_boundary st.State.zones
-      in
-      if dead then candidates := seg :: !candidates);
+      if State.interval_dead st ~lo:vmin ~hi:vmax then candidates := seg :: !candidates);
   let candidates = List.rev !candidates in
   let rec cut_up_to acc n = function
     | [] -> acc

@@ -10,16 +10,9 @@ type sweep_result = {
 let empty_sweep =
   { segments_dropped = 0; versions_pruned = 0; segments_flushed = 0; versions_stored = 0 }
 
-(* The pruning predicate under the configured policy: Theorem 3.5's
-   zone containment, or (ablation) the classic oldest-active horizon. *)
-let interval_prunable (st : State.t) ~lo ~hi =
-  match st.State.config.State.pruning with
-  | `Dead_zones -> Zone_set.prunable st.State.zones ~vs:lo ~ve:hi
-  | `Oldest_active -> hi < Zone_set.oldest_boundary st.State.zones
-
 (* Drop a sealed segment that is dead in its entirety: every version it
    holds is removed from its chain and counted into the 2nd prune. *)
-let drop_dead_segment (st : State.t) seg =
+let drop_dead_segment (st : State.t) seg ~now =
   let pruned = ref 0 in
   Vec.iter
     (fun node ->
@@ -27,6 +20,8 @@ let drop_dead_segment (st : State.t) seg =
         (match Llb.find st.State.llb ~rid:node.Chain.version.Version.rid with
         | Some chain -> Chain.delete_node chain node
         | None -> assert false);
+        State.audit_prune st ~now ~origin:`Prune2 ~lo:node.Chain.prune_lo
+          ~hi:node.Chain.prune_hi;
         Prune_stats.note_prune2 st.State.stats seg.Segment.cls;
         incr pruned
       end)
@@ -49,8 +44,8 @@ let sweep (st : State.t) ~now =
   Vec.filter_in_place
     (fun seg ->
       let _, vmin, vmax = Segment.descriptor seg in
-      if interval_prunable st ~lo:vmin ~hi:vmax then begin
-        let pruned = drop_dead_segment st seg in
+      if State.interval_dead st ~lo:vmin ~hi:vmax then begin
+        let pruned = drop_dead_segment st seg ~now in
         result :=
           {
             !result with
@@ -61,20 +56,26 @@ let sweep (st : State.t) ~now =
       end
       else true)
     st.State.sealed;
-  (* Memory pressure: flush the oldest surviving sealed segments. *)
+  (* Memory pressure: flush the oldest surviving sealed segments. A
+     ["vsorter.flush"] fail-point failure models a rejected or delayed
+     store write: the segment stays sealed in the buffer (pressure
+     persists) and the flush is retried on the next sweep. *)
   let rec relieve () =
     if State.buffered_bytes st > st.State.config.State.vbuffer_bytes then begin
-      match State.pop_oldest_sealed st with
-      | Some seg ->
-          let stored = harden_segment st seg ~now in
-          result :=
-            {
-              !result with
-              segments_flushed = !result.segments_flushed + 1;
-              versions_stored = !result.versions_stored + stored;
-            };
-          relieve ()
-      | None -> ()
+      match Failpoint.check "vsorter.flush" with
+      | `Fail -> ()
+      | `Pass -> (
+          match State.pop_oldest_sealed st with
+          | Some seg ->
+              let stored = harden_segment st seg ~now in
+              result :=
+                {
+                  !result with
+                  segments_flushed = !result.segments_flushed + 1;
+                  versions_stored = !result.versions_stored + stored;
+                };
+              relieve ()
+          | None -> ())
     end
   in
   relieve ();
@@ -115,7 +116,8 @@ let relocate (st : State.t) version ~now =
      committed after the snapshot's C^T — rapid updates under skew —
      legitimately pass this first stage and die at the segment prune
      instead, exactly the Figure 15 breakdown. *)
-  if interval_prunable st ~lo ~hi then begin
+  if State.interval_dead st ~lo ~hi then begin
+    State.audit_prune st ~now ~origin:`Prune1 ~lo ~hi;
     Prune_stats.note_prune1 st.State.stats cls;
     Pruned_first cls
   end

@@ -1,0 +1,117 @@
+type action = Crash | Abort_txn | Wal_error | Flush_fail | Evict_storm
+
+let action_name = function
+  | Crash -> "crash"
+  | Abort_txn -> "abort"
+  | Wal_error -> "wal-error"
+  | Flush_fail -> "flush-fail"
+  | Evict_storm -> "evict-storm"
+
+let all_actions = [ Crash; Abort_txn; Wal_error; Flush_fail; Evict_storm ]
+
+type event = { at : Clock.time; action : action }
+
+(* One Poisson arrival process. [next] is the pre-drawn time of the next
+   injection; advancing draws the following inter-arrival gap from the
+   process's private RNG so the sequence is a pure function of the
+   seed. *)
+type process = {
+  p_action : action;
+  rate : float; (* injections per simulated second *)
+  rng : Rng.t;
+  mutable next : Clock.time;
+}
+
+type t = {
+  plan_seed : int;
+  mutable events : event list; (* pending, sorted by [at] *)
+  processes : process list;
+  check_period : Clock.time;
+  rates : (action * float) list; (* for pp, declaration order *)
+}
+
+let gap process =
+  (* Exponential inter-arrival: -ln(1-u)/rate seconds, floored to 1 ns
+     so the process always advances. *)
+  let u = Rng.float process.rng in
+  max 1 (Clock.seconds (-.log (1. -. u) /. process.rate))
+
+let make_process ~seed action rate =
+  if rate < 0. then invalid_arg "Fault_plan: negative rate";
+  if rate = 0. then None
+  else begin
+    let rng = Rng.create seed in
+    let p = { p_action = action; rate; rng; next = 0 } in
+    p.next <- gap p;
+    Some p
+  end
+
+let create ?(seed = 0) ?(events = []) ?(crash_rate = 0.) ?(abort_rate = 0.)
+    ?(wal_error_rate = 0.) ?(flush_fail_rate = 0.) ?(evict_storm_rate = 0.)
+    ?(check_period = Clock.ms 100) () =
+  let rates =
+    [
+      (Crash, crash_rate);
+      (Abort_txn, abort_rate);
+      (Wal_error, wal_error_rate);
+      (Flush_fail, flush_fail_rate);
+      (Evict_storm, evict_storm_rate);
+    ]
+  in
+  (* Derive one independent stream per process from the plan seed. *)
+  let master = Rng.create seed in
+  let processes =
+    List.filter_map
+      (fun (action, rate) ->
+        let sub_seed = Int64.to_int (Rng.next_int64 master) in
+        make_process ~seed:sub_seed action rate)
+      rates
+  in
+  {
+    plan_seed = seed;
+    events = List.sort (fun a b -> compare (a.at, a.action) (b.at, b.action)) events;
+    processes;
+    check_period;
+    rates;
+  }
+
+let none = create ()
+
+let random ~seed =
+  let rng = Rng.create (seed lxor 0x6661756c74) in
+  (* Keep crashes rare relative to the finer-grained faults: a crash
+     wipes the state the other injections are stressing. *)
+  let draw lo hi = lo +. (Rng.float rng *. (hi -. lo)) in
+  create ~seed ~crash_rate:(draw 0.05 0.3) ~abort_rate:(draw 2. 20.)
+    ~wal_error_rate:(draw 1. 10.) ~flush_fail_rate:(draw 5. 40.)
+    ~evict_storm_rate:(draw 0.5 4.) ()
+
+let seed t = t.plan_seed
+let check_period t = t.check_period
+
+let poll t ~now =
+  let due_events = ref [] in
+  let rec take = function
+    | e :: rest when e.at <= now ->
+        due_events := e.action :: !due_events;
+        take rest
+    | rest -> rest
+  in
+  t.events <- take t.events;
+  let arrivals = ref [] in
+  List.iter
+    (fun p ->
+      while p.next <= now do
+        arrivals := p.p_action :: !arrivals;
+        p.next <- p.next + gap p
+      done)
+    t.processes;
+  List.rev !due_events @ List.rev !arrivals
+
+let pp fmt t =
+  Format.fprintf fmt "@[<h>seed=%d" t.plan_seed;
+  List.iter
+    (fun (action, rate) ->
+      if rate > 0. then Format.fprintf fmt " %s=%.3g/s" (action_name action) rate)
+    t.rates;
+  Format.fprintf fmt "@]"

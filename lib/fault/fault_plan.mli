@@ -1,0 +1,66 @@
+(** Seeded fault plans.
+
+    A plan is a deterministic schedule of injected failures: explicit
+    [events] pinned to simulated times, plus independent Poisson
+    processes (one per fault kind, rates in expected injections per
+    simulated second) whose arrival times are pre-drawn from the plan's
+    own splitmix stream. Equal seeds and rates give equal injection
+    sequences regardless of what the system under test does, and a plan
+    never touches the workload's RNG — a run with a zero-rate plan is
+    bit-identical to a run with no plan at all.
+
+    The scheduler consults the plan through its dispatch probe: before
+    every process step the harness calls {!poll}, which returns the
+    faults that have come due since the previous poll. *)
+
+type action =
+  | Crash  (** crash-restart the engine (§3.5, Figure 10b) *)
+  | Abort_txn  (** abort one in-flight transaction (Figure 10a) *)
+  | Wal_error  (** reject a burst of WAL appends *)
+  | Flush_fail  (** fail segment flushes for a sweep window *)
+  | Evict_storm  (** evict the whole version-store cache *)
+
+val action_name : action -> string
+val all_actions : action list
+
+type event = { at : Clock.time; action : action }
+
+type t
+
+val create :
+  ?seed:int ->
+  ?events:event list ->
+  ?crash_rate:float ->
+  ?abort_rate:float ->
+  ?wal_error_rate:float ->
+  ?flush_fail_rate:float ->
+  ?evict_storm_rate:float ->
+  ?check_period:Clock.time ->
+  unit ->
+  t
+(** Rates are per simulated second and default to 0; [events] may be in
+    any order. [check_period] is the cadence at which the harness runs
+    the online invariant sweep (default 100 ms; the prune-soundness
+    audit is continuous regardless). Negative rates raise
+    [Invalid_argument]. *)
+
+val none : t
+(** The no-op plan: no events, all rates zero. Wiring it through a run
+    must not change the run's results — the determinism tests hold us to
+    that. *)
+
+val random : seed:int -> t
+(** A moderately aggressive plan derived entirely from [seed]: every
+    rate is drawn from a seeded stream. Chaos campaigns use one per
+    campaign. *)
+
+val seed : t -> int
+val check_period : t -> Clock.time
+
+val poll : t -> now:Clock.time -> action list
+(** All injections due at or before [now] that were not already
+    returned, oldest first (scheduled events before Poisson arrivals on
+    ties, then by declaration order of the action kinds). *)
+
+val pp : Format.formatter -> t -> unit
+(** Seed and rates — enough to reproduce the plan. *)

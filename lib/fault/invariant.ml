@@ -1,0 +1,168 @@
+type violation = { invariant : string; detail : string }
+
+let v invariant fmt = Format.kasprintf (fun detail -> { invariant; detail }) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Chain shape and reachability *)
+
+let check_chain (st : State.t) chain =
+  let rid = Chain.rid chain in
+  let shape =
+    match Chain.check_invariants chain with
+    | Ok () -> []
+    | Error msg -> [ v "chain-shape" "%s" msg ]
+  in
+  (* Every live node must point at a segment that still exists and has
+     not been cut: a cut segment's versions were deleted from their
+     chains, so a live node referencing one is a dangling locator. *)
+  let dangling = ref [] in
+  let rec walk = function
+    | None -> ()
+    | Some node ->
+        if not node.Chain.deleted then begin
+          match State.find_segment st node.Chain.seg_id with
+          | None ->
+              dangling :=
+                v "chain-reachability" "chain r%d: live node points at dropped segment %d" rid
+                  node.Chain.seg_id
+                :: !dangling
+          | Some seg ->
+              if seg.Segment.state = Segment.Cut then
+                dangling :=
+                  v "chain-reachability" "chain r%d: live node points at cut segment %d" rid
+                    node.Chain.seg_id
+                  :: !dangling
+        end;
+        walk node.Chain.older
+  in
+  walk (Chain.head chain);
+  shape @ List.rev !dangling
+
+let check_chains (d : Driver.t) =
+  let st : State.t = d in
+  let per_rid = ref [] in
+  Llb.iter st.State.llb (fun chain -> per_rid := (Chain.rid chain, check_chain st chain) :: !per_rid);
+  List.concat_map snd (List.sort (fun (a, _) (b, _) -> compare a b) !per_rid)
+
+(* ------------------------------------------------------------------ *)
+(* Prune_stats conservation *)
+
+let buffered_live (st : State.t) =
+  Array.fold_left
+    (fun acc -> function Some seg -> acc + Segment.live_count seg | None -> acc)
+    0 st.State.open_segments
+  + Vec.fold_left (fun acc seg -> acc + Segment.live_count seg) 0 st.State.sealed
+
+let check_stats (d : Driver.t) =
+  let st : State.t = d in
+  let stats = st.State.stats in
+  let in_flight = Prune_stats.in_flight stats in
+  let buffered = buffered_live st in
+  let acc = ref [] in
+  if in_flight < 0 then
+    acc :=
+      v "stats-conservation" "in_flight negative: relocated=%d prune1=%d prune2=%d stored=%d lost=%d"
+        (Prune_stats.relocated stats) (Prune_stats.prune1_total stats)
+        (Prune_stats.prune2_total stats) (Prune_stats.stored_total stats)
+        (Prune_stats.lost stats)
+      :: !acc;
+  if in_flight <> buffered then
+    acc :=
+      v "stats-conservation"
+        "buckets do not sum to relocated: in_flight=%d but %d versions buffered \
+         (relocated=%d prune1=%d prune2=%d stored=%d lost=%d)"
+        in_flight buffered (Prune_stats.relocated stats) (Prune_stats.prune1_total stats)
+        (Prune_stats.prune2_total stats) (Prune_stats.stored_total stats)
+        (Prune_stats.lost stats)
+      :: !acc;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Version store accounting *)
+
+let check_store (d : Driver.t) =
+  let st : State.t = d in
+  let store = st.State.store in
+  let acc = ref [] in
+  let hardened = ref 0 in
+  let bytes = ref 0 in
+  Version_store.iter_hardened store (fun seg ->
+      incr hardened;
+      bytes := !bytes + seg.Segment.used_bytes;
+      match State.find_segment st seg.Segment.id with
+      | Some s when s == seg -> ()
+      | Some _ ->
+          acc := v "store-accounting" "segment %d indexed to a different segment" seg.Segment.id :: !acc
+      | None ->
+          acc := v "store-accounting" "hardened segment %d missing from index" seg.Segment.id :: !acc);
+  if !bytes <> Version_store.live_bytes store then
+    acc :=
+      v "store-accounting" "live_bytes=%d but hardened segments hold %d"
+        (Version_store.live_bytes store) !bytes
+      :: !acc;
+  let open_count =
+    Array.fold_left
+      (fun n -> function Some _ -> n + 1 | None -> n)
+      0 st.State.open_segments
+  in
+  let indexed = Hashtbl.length st.State.seg_index in
+  let expected = open_count + Vec.length st.State.sealed + !hardened in
+  if indexed <> expected then
+    acc :=
+      v "store-accounting" "segment index holds %d entries, expected %d (%d open + %d sealed + %d hardened)"
+        indexed expected open_count (Vec.length st.State.sealed) !hardened
+      :: !acc;
+  List.rev !acc
+
+let check_all d = check_chains d @ check_stats d @ check_store d
+
+(* ------------------------------------------------------------------ *)
+(* §3.5 post-crash emptiness *)
+
+let check_post_crash (d : Driver.t) =
+  let st : State.t = d in
+  let acc = ref [] in
+  let expect_zero what n = if n <> 0 then acc := v "post-crash" "%s nonempty: %d" what n :: !acc in
+  expect_zero "LLB" (Llb.chain_count st.State.llb);
+  expect_zero "vBuffer" (State.buffered_bytes st);
+  expect_zero "version store" (Version_store.live_bytes st.State.store);
+  expect_zero "resident hardened segments" (Version_store.resident_count st.State.store);
+  expect_zero "store cache" (Buffer_pool.resident st.State.store_cache);
+  expect_zero "segment index" (Hashtbl.length st.State.seg_index);
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Continuous prune-soundness audit *)
+
+let origin_name = function `Prune1 -> "1st-prune" | `Prune2 -> "2nd-prune" | `Cut -> "cut"
+
+let install_prune_audit (d : Driver.t) ~on_violation =
+  let st : State.t = d in
+  let mgr = st.State.txns in
+  st.State.prune_audit <-
+    Some
+      (fun ~now ~origin ~lo ~hi ->
+        if lo >= hi then
+          on_violation ~now
+            (v "prune-soundness" "%s discarded malformed interval (%d, %d)" (origin_name origin)
+               lo hi)
+        else begin
+          (* Definition 3.3 against the live table as it is right now —
+             not the driver's zone snapshot. Staleness of the snapshot
+             is conservative, so any disagreement is a real unsound
+             discard. *)
+          let live = Txn_manager.live_begin_ts mgr in
+          if not (Prune.dead_spec ~live ~vs:lo ~ve:hi) then
+            on_violation ~now
+              (v "prune-soundness"
+                 "%s discarded a version visible to a live transaction: interval (%d, %d), live inside: %s"
+                 (origin_name origin) lo hi
+                 (String.concat ","
+                    (List.filter_map
+                       (fun tb -> if lo < tb && tb < hi then Some (string_of_int tb) else None)
+                       live)))
+        end)
+
+let remove_prune_audit (d : Driver.t) =
+  let st : State.t = d in
+  st.State.prune_audit <- None

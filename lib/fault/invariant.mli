@@ -1,0 +1,51 @@
+(** Online invariant checking over a live vDriver instance.
+
+    The safety and completeness oracles of the GC literature, asserted
+    continuously while faults are injected: never reclaim a version
+    some live transaction still needs, never corrupt the structures
+    that make the remaining versions reachable.
+
+    Catalogue (see DESIGN.md, "Fault model and invariant catalogue"):
+
+    - {b prune soundness} — every discarded version is dead per
+      Definition 3.3 against the live table {e at the moment of the
+      discard} (installed as a continuous audit via
+      {!install_prune_audit}; this is what catches a widened zone);
+    - {b chain shape} — every LLB chain is in the 0-hole or 1-hole
+      state with consistent links and counts (§3.4, Figure 8);
+    - {b chain/segment reachability} — every live chain node's segment
+      exists and is [In_buffer] or [Hardened], never [Cut];
+    - {b stats conservation} — [relocated = prune1 + prune2 + stored +
+      lost + in_flight], with [in_flight] equal to the versions
+      actually buffered;
+    - {b store accounting} — [live_bytes] equals the sum over resident
+      hardened segments, and the segment index holds exactly the open,
+      sealed and hardened segments;
+    - {b post-crash emptiness} — after [crash_restart] the LLB, the
+      vBuffer, the version store and its cache are all empty (§3.5,
+      Figure 10b). *)
+
+type violation = { invariant : string; detail : string }
+
+val check_chains : Driver.t -> violation list
+(** Chain shape and chain/segment reachability, sorted by record id. *)
+
+val check_stats : Driver.t -> violation list
+val check_store : Driver.t -> violation list
+
+val check_all : Driver.t -> violation list
+(** The three steady-state checks above, concatenated. *)
+
+val check_post_crash : Driver.t -> violation list
+(** To be run immediately after a crash-restart, before any new
+    relocation reaches the driver. *)
+
+val install_prune_audit :
+  Driver.t -> on_violation:(now:Clock.time -> violation -> unit) -> unit
+(** Arm the driver's prune audit hook: every version the instance
+    discards (1st prune, 2nd prune, or cut) is re-checked against
+    Definition 3.3 using the live table's current begin timestamps;
+    unsound discards are reported through [on_violation] with the
+    simulated time of the discard. *)
+
+val remove_prune_audit : Driver.t -> unit

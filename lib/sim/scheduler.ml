@@ -13,9 +13,13 @@ type t = {
   mutable len : int;
   mutable next_seq : int;
   mutable now : Clock.time;
+  mutable probe : (name:string -> now:Clock.time -> unit) option;
 }
 
-let create () = { heap = [||]; len = 0; next_seq = 0; now = 0 }
+let create () = { heap = [||]; len = 0; next_seq = 0; now = 0; probe = None }
+
+let set_probe t f = t.probe <- Some f
+let clear_probe t = t.probe <- None
 
 let less a b = a.at < b.at || (a.at = b.at && a.seq < b.seq)
 
@@ -76,6 +80,7 @@ let run t ~until =
     else begin
       let p = pop t in
       t.now <- max t.now p.at;
+      (match t.probe with Some f -> f ~name:p.name ~now:p.at | None -> ());
       (match p.step p.at with
       | Finished -> ()
       | Sleep_until next ->

@@ -21,6 +21,15 @@ val spawn : t -> name:string -> at:Clock.time -> (Clock.time -> outcome) -> unit
     [Sleep_until t'] with [t' <= now] advances the clock by 1 ns to
     guarantee progress. *)
 
+val set_probe : t -> (name:string -> now:Clock.time -> unit) -> unit
+(** Install a dispatch probe: called immediately before every process
+    step with the process name and its wake-up time. This is the fault
+    harness's consultation point — a fault plan armed here sees every
+    scheduling decision and can inject per-step faults deterministically.
+    The probe must not call back into the scheduler. *)
+
+val clear_probe : t -> unit
+
 val run : t -> until:Clock.time -> Clock.time
 (** Run processes in time order until every process has finished or the
     next wake-up exceeds [until]. Returns the simulated time reached. *)

@@ -1,11 +1,15 @@
-type t = { mutable total : int; mutable records : int }
+type t = { mutable total : int; mutable records : int; mutable errors : int }
 
-let create () = { total = 0; records = 0 }
+let create () = { total = 0; records = 0; errors = 0 }
 
 let append t ~bytes =
   if bytes < 0 then invalid_arg "Wal.append: negative size";
-  t.total <- t.total + bytes;
-  t.records <- t.records + 1
+  match Failpoint.check "wal.append" with
+  | `Fail -> t.errors <- t.errors + 1
+  | `Pass ->
+      t.total <- t.total + bytes;
+      t.records <- t.records + 1
 
 let total_bytes t = t.total
 let records t = t.records
+let errors t = t.errors

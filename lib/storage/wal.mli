@@ -1,10 +1,21 @@
 (** Redo-log volume accounting. Page splits in in-row engines "produce
     redo logs for capturing changes" (§2.1); we track the bytes so the
-    cost shows up in the space metrics. *)
+    cost shows up in the space metrics.
+
+    Writes pass through the ["wal.append"] fail-point: a failed append
+    is dropped (the simulated log device rejected it) and counted in
+    {!errors} instead of {!total_bytes} — chaos campaigns assert the
+    accounting stays conservative under storms of these. *)
 
 type t
 
 val create : unit -> t
+
 val append : t -> bytes:int -> unit
+(** Append a record, unless the ["wal.append"] fail-point fires. *)
+
 val total_bytes : t -> int
 val records : t -> int
+
+val errors : t -> int
+(** Appends rejected by fault injection. *)

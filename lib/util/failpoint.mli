@@ -1,0 +1,43 @@
+(** Named fail-points for deterministic fault injection.
+
+    Production systems scatter fail-points through their hot paths
+    (etcd/TiKV's [fail::fail_point!]) so a chaos harness can force rare
+    error branches on demand. This is the simulation-friendly analogue:
+    a site calls {!check} with its name and gets [`Pass] unless a
+    handler has been armed for that name. Handlers are plain closures —
+    the fault library arms them from a seeded plan, so every decision is
+    a deterministic function of the plan's RNG stream.
+
+    The registry is global (the simulation is single-threaded and runs
+    one experiment at a time); {!with_scope} brackets a run so that no
+    armed handler or hit count leaks into the next experiment. An
+    unarmed fail-point costs one hashtable probe. *)
+
+type decision = [ `Pass | `Fail ]
+
+val arm : string -> (unit -> decision) -> unit
+(** [arm name handler] routes subsequent {!check name} calls through
+    [handler], replacing any previous handler for [name]. *)
+
+val arm_fail_n : string -> int -> unit
+(** Arm [name] to fail the next [n] checks, then pass (handler stays
+    installed; re-arming resets the budget). *)
+
+val disarm : string -> unit
+val disarm_all : unit -> unit
+
+val check : string -> decision
+(** Consult the fail-point. Always counts the hit, armed or not. *)
+
+val hit_count : string -> int
+(** How many times [check name] ran since the last {!reset_counts} /
+    {!with_scope} entry. *)
+
+val fail_count : string -> int
+(** How many of those checks returned [`Fail]. *)
+
+val reset_counts : unit -> unit
+
+val with_scope : (unit -> 'a) -> 'a
+(** Run a thunk in a clean registry: counts reset and all handlers
+    disarmed on entry {e and} on exit (even by exception). *)

@@ -14,9 +14,11 @@ type result = {
   latch_wait : Clock.time;
   cut_delays : (Vclass.t * Clock.time) list;
   driver : Driver.t option;
+  faults : Fault_report.t;
 }
 
-let run ~engine (cfg : Exp_config.t) =
+let run ~engine ?faults (cfg : Exp_config.t) =
+ Failpoint.with_scope @@ fun () ->
   let eng = engine cfg.Exp_config.schema in
   let sched = Scheduler.create () in
   let master_rng = Rng.create cfg.Exp_config.seed in
@@ -25,6 +27,12 @@ let run ~engine (cfg : Exp_config.t) =
   let latency_us = Histogram.create ~bucket_width:10 () in
   let conflicts = ref 0 in
   let llt_reads = ref 0 in
+  let report = Fault_report.create () in
+  (* Every process that can hold an open transaction registers a kill
+     switch here (in spawn order, so victim selection is deterministic).
+     The fault injector uses them for [Abort_txn] and to roll every
+     in-flight loser back before a [Crash]. *)
+  let abort_slots : (Clock.time -> bool) Vec.t = Vec.create () in
   (* Pre-build one sampler per phase so workers just look the pattern
      up by time. *)
   let samplers =
@@ -50,6 +58,13 @@ let run ~engine (cfg : Exp_config.t) =
   let spawn_worker i =
     let rng = Rng.split master_rng in
     let pending = ref None in
+    Vec.push abort_slots (fun now ->
+        match !pending with
+        | Some txn ->
+            pending := None;
+            ignore (eng.Engine.abort txn ~now);
+            true
+        | None -> false);
     Scheduler.spawn sched ~name:(Printf.sprintf "worker-%d" i) ~at:0 (fun now ->
         match !pending with
         | None ->
@@ -96,6 +111,13 @@ let run ~engine (cfg : Exp_config.t) =
         let rng = Rng.split master_rng in
         let uniform = Access.create cfg.Exp_config.schema Access.Uniform in
         let state = ref None in
+        Vec.push abort_slots (fun now ->
+            match !state with
+            | Some txn ->
+                state := None;
+                ignore (eng.Engine.abort txn ~now);
+                true
+            | None -> false);
         let llt_end = Clock.seconds (start_s +. duration_s) in
         Scheduler.spawn sched
           ~name:(Printf.sprintf "llt-%d-%d" gi li)
@@ -108,6 +130,7 @@ let run ~engine (cfg : Exp_config.t) =
                 Scheduler.Sleep_until t
             | Some txn ->
                 if now >= llt_end || now >= horizon then begin
+                  state := None;
                   let _ = eng.Engine.commit txn ~now in
                   Scheduler.Finished
                 end
@@ -142,8 +165,79 @@ let run ~engine (cfg : Exp_config.t) =
       Series.add chain_series ~time:sec ~value:(float_of_int s.Engine.max_chain);
       Series.add split_series ~time:sec ~value:(float_of_int s.Engine.splits);
       if now >= horizon then Scheduler.Finished else Scheduler.Sleep_until (now + sample_period));
-  ignore (Scheduler.run sched ~until:horizon);
-  eng.Engine.finish ~now:horizon;
+  (* Fault harness: a continuous prune-soundness audit on the driver, a
+     dispatch probe that consults the plan before every scheduled step,
+     and a periodic invariant sweep over the whole driver state. *)
+  (match faults with
+  | None -> ()
+  | Some plan ->
+      let record_all ~at vs =
+        List.iter
+          (fun { Invariant.invariant; detail } -> Fault_report.record report ~at ~invariant ~detail)
+          vs
+      in
+      (match eng.Engine.driver with
+      | Some d ->
+          Invariant.install_prune_audit d ~on_violation:(fun ~now viol ->
+              record_all ~at:now [ viol ]);
+          let period = Fault_plan.check_period plan in
+          Scheduler.spawn sched ~name:"invariants" ~at:period (fun now ->
+              Fault_report.note_check report;
+              record_all ~at:now (Invariant.check_all d);
+              if now >= horizon then Scheduler.Finished else Scheduler.Sleep_until (now + period))
+      | None -> ());
+      (* Victim selection draws from the plan's seed, never from
+         [master_rng]: a plan that injects nothing must leave the
+         workload's random stream untouched. *)
+      let victim_rng = Rng.create (Fault_plan.seed plan lxor 0x7fabc0de) in
+      let apply action ~now =
+        Fault_report.note_fault report (Fault_plan.action_name action);
+        match action with
+        | Fault_plan.Abort_txn ->
+            let n = Vec.length abort_slots in
+            if n > 0 then begin
+              let start = Rng.int victim_rng n in
+              let rec try_slot i =
+                if i < n then
+                  if (Vec.get abort_slots ((start + i) mod n)) now then () else try_slot (i + 1)
+              in
+              try_slot 0
+            end
+        | Fault_plan.Crash ->
+            (* §3.5: every in-flight transaction is a loser. Roll them
+               back through the engine's abort path, then run crash
+               recovery and immediately assert the Figure 10b
+               post-conditions. *)
+            Vec.iter (fun slot -> ignore (slot now)) abort_slots;
+            ignore (eng.Engine.crash ());
+            (match eng.Engine.driver with
+            | Some d -> record_all ~at:now (Invariant.check_post_crash d)
+            | None -> ())
+        | Fault_plan.Wal_error -> Failpoint.arm_fail_n "wal.append" 16
+        | Fault_plan.Flush_fail -> Failpoint.arm_fail_n "vsorter.flush" 4
+        | Fault_plan.Evict_storm -> (
+            match eng.Engine.driver with
+            | Some d -> Buffer_pool.clear d.State.store_cache
+            | None -> ())
+      in
+      Scheduler.set_probe sched (fun ~name:_ ~now ->
+          List.iter (fun action -> apply action ~now) (Fault_plan.poll plan ~now)));
+  (* Under an unsound rule (e.g. a sabotaged zone test) the engine can
+     fail outright — a snapshot read landing on a pruned version. During
+     a fault run that is itself a verdict, not a harness crash: record
+     it and let the campaign report it. Without a fault plan the
+     exception propagates as before. *)
+  let engine_failed =
+    try
+      ignore (Scheduler.run sched ~until:horizon);
+      false
+    with exn when faults <> None ->
+      Fault_report.record report ~at:(Scheduler.now sched) ~invariant:"engine-failure"
+        ~detail:(Printexc.to_string exn);
+      true
+  in
+  if not engine_failed then eng.Engine.finish ~now:horizon;
+  (match eng.Engine.driver with Some d -> Invariant.remove_prune_audit d | None -> ());
   let final = eng.Engine.sample () in
   let cdf = Histogram.cdf (eng.Engine.chain_histogram ()) in
   {
@@ -165,6 +259,7 @@ let run ~engine (cfg : Exp_config.t) =
       | Some d -> Version_store.cut_delays (Driver.store d)
       | None -> []);
     driver = eng.Engine.driver;
+    faults = report;
   }
 
 let avg_throughput r ~between:(lo, hi) =

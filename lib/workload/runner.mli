@@ -27,9 +27,21 @@ type result = {
   latch_wait : Clock.time;  (** cumulative latch queueing time *)
   cut_delays : (Vclass.t * Clock.time) list;  (** vDriver engines only *)
   driver : Driver.t option;
+  faults : Fault_report.t;
+      (** injected faults, invariant sweeps, and any violations; empty
+          when the run had no fault plan *)
 }
 
-val run : engine:(Schema.t -> Engine.t) -> Exp_config.t -> result
+val run : engine:(Schema.t -> Engine.t) -> ?faults:Fault_plan.t -> Exp_config.t -> result
+(** [run ~engine ?faults cfg] builds the engine and drives the
+    discrete-event simulation. With [?faults], the scheduler's dispatch
+    probe consults the plan before every process step; due injections
+    (crashes, forced aborts, WAL errors, flush failures, cache eviction
+    storms) are applied to the engine, a continuous prune-soundness
+    audit is armed on the vDriver instance, and a periodic process
+    sweeps the full invariant catalogue ({!Invariant.check_all}),
+    collecting everything into [result.faults]. A plan that injects
+    nothing leaves the run bit-identical to a run without one. *)
 
 val avg_throughput : result -> between:float * float -> float
 (** Mean commits/s over a closed time window. *)
