@@ -10,7 +10,17 @@
    `--sabotage W` deliberately widens every dead zone by W timestamp
    units (an unsound pruning rule); the run is then *expected* to be
    caught by the prune-soundness oracle, which is how CI proves the
-   harness has teeth. *)
+   harness has teeth.
+
+   `--quota BYTES` arms the version-space governor: the campaign then
+   additionally asserts that every post-maintenance space checkpoint
+   stays within the quota and that the health-ladder transition log is
+   honest. `--quota-sabotage` keeps the quota configured but makes the
+   governor ignore it — the space invariant must then flag the breach,
+   the overload twin of `--sabotage`. `--require-shed` makes a clean
+   exit additionally require at least one campaign that reached the
+   Shedding rung and recovered to Normal (CI uses it to prove the
+   overload scenario actually exercises the whole ladder). *)
 
 open Cmdliner
 
@@ -41,18 +51,26 @@ let campaign_config ~seed ~duration =
       ];
   }
 
-let run_campaigns (ename, engine) seed campaigns duration sabotage =
+let run_campaigns (ename, engine) seed campaigns duration sabotage quota quota_sabotage
+    require_shed =
+  let governor =
+    if quota <= 0 then Governor.default_config
+    else { (Governor.governed ~quota_bytes:quota) with Governor.quota_ignore_sabotage = quota_sabotage }
+  in
   let driver_config =
-    { State.default_config with State.zone_widen_sabotage = sabotage }
+    { State.default_config with State.zone_widen_sabotage = sabotage; governor }
   in
   let campaign_seeds =
     (* Derive one independent seed per campaign from the base seed. *)
     let rng = Rng.create seed in
     List.init campaigns (fun _ -> Int64.to_int (Rng.next_int64 rng) land 0x3fffffff)
   in
-  Printf.printf "chaos: engine=%s seed=%d campaigns=%d duration=%.1fs sabotage=%d\n" ename seed
-    campaigns duration sabotage;
+  Printf.printf "chaos: engine=%s seed=%d campaigns=%d duration=%.1fs sabotage=%d quota=%d%s\n"
+    ename seed campaigns duration sabotage quota
+    (if quota_sabotage then " quota-sabotage" else "");
   let total_violations = ref 0 in
+  let shed_recoveries = ref 0 in
+  let horizon = Clock.seconds duration in
   List.iteri
     (fun i campaign_seed ->
       let plan = Fault_plan.random ~seed:campaign_seed in
@@ -61,10 +79,29 @@ let run_campaigns (ename, engine) seed campaigns duration sabotage =
       total_violations := !total_violations + Fault_report.violation_count r.Runner.faults;
       Format.printf "@[<v>campaign %d seed=%d plan: %a@ commits=%d conflicts=%d@ %a@]@." i
         campaign_seed Fault_plan.pp plan r.Runner.commits r.Runner.conflicts Fault_report.pp
-        r.Runner.faults)
+        r.Runner.faults;
+      match r.Runner.driver with
+      | Some d when quota > 0 ->
+          let g = Driver.governor d in
+          let reached_shedding =
+            List.exists
+              (fun tr -> tr.Governor.to_rung = Governor.Shedding)
+              (Governor.transitions g)
+          in
+          if reached_shedding && Governor.rung g = Governor.Normal then incr shed_recoveries;
+          Format.printf "@[<v>campaign %d %a@]@." i
+            (fun fmt g -> Governor.pp_summary fmt ~now:horizon g)
+            g
+      | _ -> ())
     campaign_seeds;
   Printf.printf "chaos: %d campaign(s), %d violation(s)\n" campaigns !total_violations;
-  if !total_violations > 0 then exit 1
+  if require_shed then
+    Printf.printf "chaos: %d campaign(s) shed and recovered to normal\n" !shed_recoveries;
+  if !total_violations > 0 then exit 1;
+  if require_shed && !shed_recoveries = 0 then begin
+    Printf.printf "chaos: FAIL --require-shed: no campaign reached Shedding and recovered\n";
+    exit 1
+  end
 
 let cmd =
   let engine =
@@ -89,8 +126,35 @@ let cmd =
              pruning rule the invariant checker must catch (nonzero makes a clean exit a \
              harness bug).")
   in
+  let quota =
+    Arg.(
+      value & opt int 0
+      & info [ "quota" ] ~docv:"BYTES"
+          ~doc:
+            "Arm the version-space governor with this hard quota; the campaign then also \
+             asserts the post-maintenance space envelope and the health-ladder honesty \
+             (0 = governor disabled).")
+  in
+  let quota_sabotage =
+    Arg.(
+      value & flag
+      & info [ "quota-sabotage" ]
+          ~doc:
+            "Keep the quota configured but make the governor ignore it — the space-quota \
+             invariant must then flag the breach (a clean exit is a harness bug).")
+  in
+  let require_shed =
+    Arg.(
+      value & flag
+      & info [ "require-shed" ]
+          ~doc:
+            "Fail unless at least one campaign climbed the ladder to Shedding and recovered \
+             to Normal by the end of the run.")
+  in
   Cmd.v
     (Cmd.info "chaos" ~doc:"Seeded fault-injection campaigns with online invariant checking.")
-    Term.(const run_campaigns $ engine $ seed $ campaigns $ duration $ sabotage)
+    Term.(
+      const run_campaigns $ engine $ seed $ campaigns $ duration $ sabotage $ quota
+      $ quota_sabotage $ require_shed)
 
 let () = exit (Cmd.eval cmd)

@@ -4,10 +4,12 @@
 open Cmdliner
 
 let engine_of_string = function
-  | "pg" -> Ok (fun schema -> Inrow_engine.create schema)
-  | "mysql" -> Ok (fun schema -> Offrow_engine.create schema)
-  | "pg-vdriver" -> Ok (fun schema -> Siro_engine.create ~flavor:`Pg schema)
-  | "mysql-vdriver" -> Ok (fun schema -> Siro_engine.create ~flavor:`Mysql schema)
+  | "pg" -> Ok (fun _config schema -> Inrow_engine.create schema)
+  | "mysql" -> Ok (fun _config schema -> Offrow_engine.create schema)
+  | "pg-vdriver" ->
+      Ok (fun config schema -> Siro_engine.create ~driver_config:config ~flavor:`Pg schema)
+  | "mysql-vdriver" ->
+      Ok (fun config schema -> Siro_engine.create ~driver_config:config ~flavor:`Mysql schema)
   | s -> Error (`Msg (Printf.sprintf "unknown engine %S" s))
 
 let engine_conv =
@@ -40,8 +42,17 @@ let run_cmd =
   let rows = Arg.(value & opt int 1000 & info [ "rows" ] ~doc:"Rows per table.") in
   let record_bytes = Arg.(value & opt int 256 & info [ "record-bytes" ] ~doc:"Record size.") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic seed.") in
+  let quota =
+    Arg.(
+      value & opt int 0
+      & info [ "quota" ] ~docv:"BYTES"
+          ~doc:
+            "Hard version-space quota for the governor (vDriver engines only; 0 = disabled). \
+             Nonzero arms the Normal/Pressured/Emergency/Shedding ladder and prints its \
+             summary after the time series.")
+  in
   let run (ename, engine) duration workers zipf llt_start llt_duration llts tables rows
-      record_bytes seed =
+      record_bytes seed quota =
     let pattern = if zipf <= 0. then Access.Uniform else Access.Zipfian zipf in
     let cfg =
       {
@@ -57,13 +68,19 @@ let run_cmd =
            else [ { Exp_config.start_s = llt_start; duration_s = llt_duration; count = llts } ]);
       }
     in
-    let r = Runner.run ~engine cfg in
+    let driver_config =
+      if quota <= 0 then State.default_config
+      else { State.default_config with State.governor = Governor.governed ~quota_bytes:quota }
+    in
+    let r = Runner.run ~engine:(engine driver_config) cfg in
     Printf.printf "# engine=%s duration=%.0fs workers=%d access=%s llts=%d\n" r.Runner.engine_name
       duration workers
       (Access.pattern_to_string pattern)
       llts;
     Printf.printf "# commits=%d conflicts=%d llt_reads=%d truncations=%d\n" r.Runner.commits
       r.Runner.conflicts r.Runner.llt_reads r.Runner.truncations;
+    Printf.printf "# wal_errors=%d retries=%d give_ups=%d sheds=%d\n" r.Runner.wal_errors
+      r.Runner.retries r.Runner.give_ups r.Runner.sheds;
     let rows =
       List.map
         (fun (t, tput) ->
@@ -80,12 +97,18 @@ let run_cmd =
           ])
         r.Runner.throughput
     in
-    Table.print ~header:[ "sec"; "commits/s"; "version-space"; "max-chain"; "splits" ] rows
+    Table.print ~header:[ "sec"; "commits/s"; "version-space"; "max-chain"; "splits" ] rows;
+    match r.Runner.driver with
+    | Some d when quota > 0 ->
+        Format.printf "%a@."
+          (fun fmt g -> Governor.pp_summary fmt ~now:(Clock.seconds duration) g)
+          (Driver.governor d)
+    | _ -> ()
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one experiment and print its time series.")
     Term.(
       const run $ engine $ duration $ workers $ zipf $ llt_start $ llt_duration $ llts $ tables
-      $ rows $ record_bytes $ seed)
+      $ rows $ record_bytes $ seed $ quota)
 
 let compare_cmd =
   let duration =

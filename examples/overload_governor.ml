@@ -1,0 +1,83 @@
+(* Overload protection: the banking scenario from banking_llt.ml, but
+   with the version space capped by a hard quota. The auditor's report
+   pins versions; once the space climbs the governor's health ladder
+   (Normal -> Pressured -> Emergency -> Shedding) the report is evicted
+   with "snapshot too old", the segments it pinned are reclaimed, and
+   the tellers it was starving — some of them forcibly aborted along the
+   way — complete on backoff-and-retry.
+
+   Run with: dune exec examples/overload_governor.exe *)
+
+let quota = 1024 * 1024
+
+let scenario ~governed =
+  let cfg =
+    {
+      Exp_config.default with
+      Exp_config.name = (if governed then "governed" else "ungoverned");
+      duration_s = 10.;
+      workers = 8;
+      reads_per_txn = 2;
+      writes_per_txn = 2 (* debit one account, credit another *);
+      schema =
+        { Schema.default with Schema.tables = 4; rows_per_table = 1000; record_bytes = 256 };
+      phases = [ { Exp_config.at_s = 0.; pattern = Access.Zipfian 0.9 } ];
+      (* The compliance report: one repeatable-read scan for 8 seconds —
+         it pins a version of every account it has seen. *)
+      llts = [ { Exp_config.start_s = 1.; duration_s = 8.; count = 1 } ];
+    }
+  in
+  let engine schema =
+    let driver_config =
+      if governed then
+        {
+          State.default_config with
+          State.governor =
+            { (Governor.governed ~quota_bytes:quota) with Governor.shed_grace = Clock.ms 250 };
+        }
+      else State.default_config
+    in
+    Siro_engine.create ~driver_config ~flavor:`Mysql schema
+  in
+  Runner.run ~engine cfg
+
+let () =
+  print_endline "== Banking ledger under a 1 MiB version-space quota ==";
+  print_endline "8 tellers transfer money continuously; at t=1s an auditor";
+  print_endline "opens a repeatable-read report. Ungoverned, the report pins";
+  print_endline "versions without limit; governed, the version-space ladder";
+  print_endline "sheds it once the quota comes under threat.\n";
+  let ungoverned = scenario ~governed:false in
+  let governed = scenario ~governed:true in
+  let row name (r : Runner.result) =
+    let before = Runner.avg_throughput r ~between:(0.5, 1.5) in
+    let during = Runner.avg_throughput r ~between:(3., 8.) in
+    [
+      name;
+      Printf.sprintf "%.0f" before;
+      Printf.sprintf "%.0f" during;
+      Table.fmt_bytes (Runner.peak_space r);
+      string_of_int r.Runner.sheds;
+      string_of_int r.Runner.retries;
+      string_of_int r.Runner.give_ups;
+    ]
+  in
+  Table.print
+    ~header:[ "run"; "transfers/s"; "transfers/s (report)"; "peak space"; "sheds"; "retries"; "give-ups" ]
+    [ row "ungoverned" ungoverned; row "governed (1 MiB)" governed ];
+  (match governed.Runner.driver with
+  | Some d ->
+      print_endline "\nThe governed run's health ladder:";
+      Format.printf "%a@."
+        (fun fmt g -> Governor.pp_summary fmt ~now:(Clock.seconds 10.) g)
+        (Driver.governor d)
+  | None -> ());
+  print_endline "Each time the report's pins pushed the space to the top rung,";
+  print_endline "the report was evicted (snapshot too old): its segments became";
+  print_endline "cuttable the moment its read view collapsed, and the space";
+  print_endline "crashed back down — the sawtooth in the transition log. The";
+  print_endline "shed report and aborted tellers re-executed under bounded";
+  print_endline "exponential backoff (the retries column): degraded, never";
+  print_endline "stopped. Peak *sampled* space may exceed the quota briefly";
+  print_endline "between maintenance passes; the invariant the chaos harness";
+  print_endline "enforces is the post-maintenance checkpoint."

@@ -2,7 +2,119 @@ type t = State.t
 
 let create = State.create
 let config (t : t) = t.State.config
-let relocate t version ~now = Vsorter.relocate t version ~now
+let governor (t : t) = t.State.governor
+let rung (t : t) = Governor.rung t.State.governor
+
+(* ------------------------------------------------------------------ *)
+(* Overload protection: the governor's ladder, observed on the relocate
+   and maintenance paths, arms one mechanism per rung (see Governor). *)
+
+let combine_sweeps (a : Vsorter.sweep_result) (b : Vsorter.sweep_result) =
+  {
+    Vsorter.segments_dropped = a.Vsorter.segments_dropped + b.Vsorter.segments_dropped;
+    versions_pruned = a.Vsorter.versions_pruned + b.Vsorter.versions_pruned;
+    segments_flushed = a.Vsorter.segments_flushed + b.Vsorter.segments_flushed;
+    versions_stored = a.Vsorter.versions_stored + b.Vsorter.versions_stored;
+  }
+
+let combine_cuts (a : Vcutter.result) (b : Vcutter.result) =
+  {
+    Vcutter.segments_cut = a.Vcutter.segments_cut + b.Vcutter.segments_cut;
+    versions_cut = a.Vcutter.versions_cut + b.Vcutter.versions_cut;
+    bytes_reclaimed = a.Vcutter.bytes_reclaimed + b.Vcutter.bytes_reclaimed;
+    segments_scanned = a.Vcutter.segments_scanned + b.Vcutter.segments_scanned;
+  }
+
+(* Snapshot-too-old: evict the oldest read views past the grace period,
+   aborting their owners. Through the runner's hook when installed (the
+   engine rolls back the victim's writes); directly in the transaction
+   manager otherwise (safe for the read-only victims of the tests).
+   Returns the number of victims actually killed. *)
+let shed_victims (t : t) ~now =
+  let g = t.State.governor in
+  let cfg = Governor.config g in
+  let candidates =
+    Txn_manager.shed_candidates t.State.txns ~now ~min_age:cfg.Governor.shed_grace
+  in
+  let rec kill n = function
+    | [] -> n
+    | _ when n >= cfg.Governor.shed_batch -> n
+    | (txn : Txn.t) :: rest ->
+        let killed =
+          match t.State.shed_hook with
+          | Some hook -> hook ~tid:txn.Txn.tid ~now
+          | None ->
+              Txn_manager.abort t.State.txns txn ~now;
+              true
+        in
+        kill (if killed then n + 1 else n) rest
+  in
+  let shed = kill 0 candidates in
+  if shed > 0 then begin
+    Governor.note_shed g shed;
+    (* The dead-zone boundary just collapsed: reclaim immediately. *)
+    State.refresh_zones t ~now
+  end;
+  shed
+
+(* One sweep + cut at the governor's current vCutter budget. *)
+let maintain_pass (t : t) ~now =
+  let swept = Vsorter.sweep t ~now in
+  let cut = Vcutter.step t ~now ~max_segments:(Governor.max_segments t.State.governor) in
+  (swept, cut)
+
+(* Governed maintenance: sweep and cut, then — while the space reading
+   keeps the ladder at Shedding (>= 90% of quota) or outright exceeds
+   the hard quota — climb the ladder one observation at a time
+   (adjacency) and let Shedding evict pins until either the space fits
+   or nothing is left to shed. Shedding acts *before* the quota is
+   breached: that is the point of the top rung. Rounds are bounded:
+   each round either sheds at least one victim or advances the rung,
+   and both are finite. *)
+let maintain t ~now =
+  let g = t.State.governor in
+  let acc = ref (maintain_pass t ~now) in
+  if Governor.enabled g then begin
+    let rec enforce rounds =
+      let space = State.space_bytes t in
+      let r = Governor.observe g ~now ~space_bytes:space in
+      if rounds > 0 && (space > Governor.hard_quota g || r = Governor.Shedding) then begin
+        let progress =
+          if r = Governor.Shedding then shed_victims t ~now > 0
+          else true (* climbing the ladder is progress; observe again *)
+        in
+        if progress then begin
+          let swept, cut = maintain_pass t ~now in
+          acc := (combine_sweeps (fst !acc) swept, combine_cuts (snd !acc) cut);
+          enforce (rounds - 1)
+        end
+      end
+    in
+    enforce (4 + Txn_manager.live_count t.State.txns)
+  end;
+  (* The checkpoint is recorded whenever a quota is *configured*, not
+     merely when the governor is willing to act on it: that is what
+     lets the space invariant catch [quota_ignore_sabotage]. *)
+  if (Governor.config g).Governor.hard_quota_bytes > 0 then begin
+    let space = State.space_bytes t in
+    Governor.note_headroom g ~now ~space_bytes:space;
+    t.State.post_maintain_space <- Some (now, space)
+  end;
+  !acc
+
+let relocate t version ~now =
+  let outcome = Vsorter.relocate t version ~now in
+  let g = t.State.governor in
+  if Governor.enabled g then begin
+    let r = Governor.observe g ~now ~space_bytes:(State.space_bytes t) in
+    (* Emergency backpressure: the writer that displaced a version pays
+       for cleaning synchronously, InnoDB sync-flush style. *)
+    if r = Governor.Emergency || r = Governor.Shedding then begin
+      Governor.note_assist g;
+      ignore (maintain t ~now)
+    end
+  end;
+  outcome
 
 type read_source = From_vbuffer | From_store_cached | From_store_io
 
@@ -29,12 +141,6 @@ let read (t : t) view ~rid =
 
 let vcutter_step t ~now ~max_segments = Vcutter.step t ~now ~max_segments
 let sweep t ~now = Vsorter.sweep t ~now
-
-let maintain t ~now =
-  let swept = Vsorter.sweep t ~now in
-  let cut = Vcutter.step t ~now ~max_segments:64 in
-  (swept, cut)
-
 let flush_all t ~now = Vsorter.flush_all t ~now
 let abort_cleanup (_ : t) = ()
 
@@ -62,7 +168,10 @@ let crash_restart (t : t) =
           t.State.open_segments.(i) <- None
       | None -> ())
     t.State.open_segments;
-  Hashtbl.reset t.State.seg_index
+  Hashtbl.reset t.State.seg_index;
+  (* The checkpoint predates the restart; a fresh one is recorded by the
+     next governed maintenance pass. *)
+  t.State.post_maintain_space <- None
 
 let space_bytes = State.space_bytes
 let max_chain_length (t : t) = Llb.max_live_chain t.State.llb

@@ -15,8 +15,19 @@ type t = State.t
 val create : ?config:State.config -> Txn_manager.t -> t
 val config : t -> State.config
 
+val governor : t -> Governor.t
+(** The overload-protection ladder (disabled unless the config sets a
+    hard quota). *)
+
+val rung : t -> Governor.rung
+(** Health rung currently in force. *)
+
 val relocate : t -> Version.t -> now:Clock.time -> Vsorter.outcome
-(** Feed one displaced in-row version to vSorter. *)
+(** Feed one displaced in-row version to vSorter. Under an enabled
+    governor every relocation is also a ladder observation, and at
+    [Emergency] and above the caller pays for a synchronous maintenance
+    pass before this returns — the backpressure that keeps a write storm
+    from outrunning the cleaners. *)
 
 type read_source =
   | From_vbuffer  (** version found in an in-memory (filling) segment *)
@@ -38,7 +49,13 @@ val sweep : t -> now:Clock.time -> Vsorter.sweep_result
 
 val maintain : t -> now:Clock.time -> Vsorter.sweep_result * Vcutter.result
 (** One full background pass: sweep the buffer, then run vCutter over
-    the store. *)
+    the store (with the governor's per-rung segment budget). While the
+    hard quota is exceeded the pass loops — observing the ladder one
+    adjacent step at a time and, once [Shedding] is reached, evicting
+    the oldest read views past the grace period — until the space fits
+    or nothing sheddable remains. The final {!space_bytes} reading is
+    recorded as the post-maintenance checkpoint the space-quota
+    invariant audits. *)
 
 val flush_all : t -> now:Clock.time -> Vsorter.sweep_result
 

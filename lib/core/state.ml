@@ -7,6 +7,7 @@ type config = {
   classification : [ `Three_way | `Single_class ];
   pruning : [ `Dead_zones | `Oldest_active ];
   zone_widen_sabotage : int;
+  governor : Governor.config;
 }
 
 let default_config =
@@ -19,6 +20,7 @@ let default_config =
     classification = `Three_way;
     pruning = `Dead_zones;
     zone_widen_sabotage = 0;
+    governor = Governor.default_config;
   }
 
 type prune_origin = [ `Prune1 | `Prune2 | `Cut ]
@@ -42,6 +44,9 @@ type t = {
   mutable zone_refreshes : int;
   mutable prune_audit :
     (now:Clock.time -> origin:prune_origin -> lo:Timestamp.t -> hi:Timestamp.t -> unit) option;
+  governor : Governor.t;
+  mutable shed_hook : (tid:Timestamp.t -> now:Clock.time -> bool) option;
+  mutable post_maintain_space : (Clock.time * int) option;
 }
 
 let create ?(config = default_config) txns =
@@ -64,6 +69,9 @@ let create ?(config = default_config) txns =
     next_seg_id = 0;
     zone_refreshes = 0;
     prune_audit = None;
+    governor = Governor.create ~config:config.governor ();
+    shed_hook = None;
+    post_maintain_space = None;
   }
 
 (* The pruning policy, shared by vSorter (per-version and per-sealed-

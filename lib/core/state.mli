@@ -24,6 +24,9 @@ type config = {
           deliberately unsound. 0 (the default, and the only sound
           value) in real runs; the fault harness uses nonzero values to
           prove its invariant checker catches a broken rule. *)
+  governor : Governor.config;
+      (** version-space overload protection (quota, ladder thresholds,
+          snapshot-too-old policy); disabled by default *)
 }
 
 val default_config : config
@@ -55,6 +58,18 @@ type t = {
           interval of {e every} version the instance discards, at the
           moment of the discard. The fault harness installs a checker
           that replays Definition 3.3 against the live table. *)
+  governor : Governor.t;  (** overload-protection ladder over {!space_bytes} *)
+  mutable shed_hook : (tid:Timestamp.t -> now:Clock.time -> bool) option;
+      (** installed by the workload runner: abort the transaction with
+          this begin timestamp {e through the engine} (rolling back its
+          writes) and return whether a victim was actually killed. When
+          absent the driver falls back to aborting directly in the
+          transaction manager, which is only safe for read-only
+          victims. *)
+  mutable post_maintain_space : (Clock.time * int) option;
+      (** time and {!space_bytes} reading at the end of the most recent
+          governed maintenance pass — the checkpoint the space-quota
+          invariant audits. Cleared by a crash-restart. *)
 }
 
 val create : ?config:config -> Txn_manager.t -> t

@@ -5,6 +5,7 @@ type sample = {
   splits : int;
   truncations : int;
   latch_wait : Clock.time;
+  wal_errors : int;
 }
 
 type write_result = Committed_path of Clock.time | Conflict of Clock.time

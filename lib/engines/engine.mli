@@ -21,6 +21,7 @@ type sample = {
   splits : int;  (** cumulative page splits (in-row engines) *)
   truncations : int;  (** undo-tablespace truncations (off-row vanilla) *)
   latch_wait : Clock.time;  (** cumulative time spent queueing on latches *)
+  wal_errors : int;  (** log appends rejected by fault injection *)
 }
 
 type write_result = Committed_path of Clock.time | Conflict of Clock.time

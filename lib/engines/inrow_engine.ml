@@ -221,6 +221,7 @@ let create ?(costs = Costs.default) ?(vacuum_batch = 4096) schema =
           splits = Heap.splits heap;
           truncations = 0;
           latch_wait = pages_wait ();
+          wal_errors = Wal.errors wal;
         });
     chain_histogram =
       (fun () ->

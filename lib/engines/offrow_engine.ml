@@ -302,6 +302,7 @@ let create ?(costs = Costs.default) ?(purge_batch = 4096) ?(undo_pool_pages = 51
           splits = Heap.splits heap;
           truncations = st.truncations;
           latch_wait = pages_wait ();
+          wal_errors = Wal.errors wal;
         });
     chain_histogram =
       (fun () ->

@@ -67,11 +67,21 @@ let write st (txn : Txn.t) ~rid ~payload ~now =
     let reloc_cost =
       match r.Siro.relocated with
       | None -> 0
-      | Some v -> (
+      | Some v ->
+          let g = Driver.governor st.driver in
+          let assists_before = Governor.assists g in
           let base = st.costs.Costs.zone_check + st.costs.Costs.segment_append in
-          match Driver.relocate st.driver v ~now with
-          | Vsorter.Pruned_first _ -> base
-          | Vsorter.Buffered _ -> base + st.costs.Costs.segment_append)
+          let c =
+            match Driver.relocate st.driver v ~now with
+            | Vsorter.Pruned_first _ -> base
+            | Vsorter.Buffered _ -> base + st.costs.Costs.segment_append
+          in
+          (* Emergency backpressure: when the governor made this writer
+             run a synchronous maintenance pass, the writer pays for it
+             (sync-flush-point semantics). *)
+          if Governor.assists g > assists_before then
+            c + st.costs.Costs.gc_page_scan + st.costs.Costs.io_latency
+          else c
     in
     (* The MySQL flavor still writes an undo log (kept until commit,
        recycled without touching the global history list — the temporal
@@ -180,6 +190,7 @@ let create ?(costs = Costs.default) ?driver_config ~flavor schema =
           splits = Heap.splits heap;
           truncations = 0;
           latch_wait = pages_wait ();
+          wal_errors = Wal.errors wal;
         });
     chain_histogram =
       (fun () ->

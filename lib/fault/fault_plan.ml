@@ -1,4 +1,4 @@
-type action = Crash | Abort_txn | Wal_error | Flush_fail | Evict_storm
+type action = Crash | Abort_txn | Wal_error | Flush_fail | Evict_storm | Space_storm
 
 let action_name = function
   | Crash -> "crash"
@@ -6,8 +6,9 @@ let action_name = function
   | Wal_error -> "wal-error"
   | Flush_fail -> "flush-fail"
   | Evict_storm -> "evict-storm"
+  | Space_storm -> "space-storm"
 
-let all_actions = [ Crash; Abort_txn; Wal_error; Flush_fail; Evict_storm ]
+let all_actions = [ Crash; Abort_txn; Wal_error; Flush_fail; Evict_storm; Space_storm ]
 
 type event = { at : Clock.time; action : action }
 
@@ -48,7 +49,7 @@ let make_process ~seed action rate =
 
 let create ?(seed = 0) ?(events = []) ?(crash_rate = 0.) ?(abort_rate = 0.)
     ?(wal_error_rate = 0.) ?(flush_fail_rate = 0.) ?(evict_storm_rate = 0.)
-    ?(check_period = Clock.ms 100) () =
+    ?(space_storm_rate = 0.) ?(check_period = Clock.ms 100) () =
   let rates =
     [
       (Crash, crash_rate);
@@ -56,6 +57,7 @@ let create ?(seed = 0) ?(events = []) ?(crash_rate = 0.) ?(abort_rate = 0.)
       (Wal_error, wal_error_rate);
       (Flush_fail, flush_fail_rate);
       (Evict_storm, evict_storm_rate);
+      (Space_storm, space_storm_rate);
     ]
   in
   (* Derive one independent stream per process from the plan seed. *)
@@ -84,7 +86,7 @@ let random ~seed =
   let draw lo hi = lo +. (Rng.float rng *. (hi -. lo)) in
   create ~seed ~crash_rate:(draw 0.05 0.3) ~abort_rate:(draw 2. 20.)
     ~wal_error_rate:(draw 1. 10.) ~flush_fail_rate:(draw 5. 40.)
-    ~evict_storm_rate:(draw 0.5 4.) ()
+    ~evict_storm_rate:(draw 0.5 4.) ~space_storm_rate:(draw 0.5 3.) ()
 
 let seed t = t.plan_seed
 let check_period t = t.check_period

@@ -19,6 +19,9 @@ type action =
   | Wal_error  (** reject a burst of WAL appends *)
   | Flush_fail  (** fail segment flushes for a sweep window *)
   | Evict_storm  (** evict the whole version-store cache *)
+  | Space_storm
+      (** a burst writer displaces a volley of versions at once — the
+          quota squeeze that drives the governor's ladder *)
 
 val action_name : action -> string
 val all_actions : action list
@@ -35,6 +38,7 @@ val create :
   ?wal_error_rate:float ->
   ?flush_fail_rate:float ->
   ?evict_storm_rate:float ->
+  ?space_storm_rate:float ->
   ?check_period:Clock.time ->
   unit ->
   t

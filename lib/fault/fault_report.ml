@@ -7,10 +7,19 @@ type t = {
   mutable total : int;
   mutable checks : int;
   mutable injected : (string * int) list; (* assoc, insertion order *)
+  mutable gauges : (string * int) list; (* end-of-run counters, assoc *)
 }
 
 let create ?(max_details = 64) () =
-  { max_details; stored = []; stored_count = 0; total = 0; checks = 0; injected = [] }
+  {
+    max_details;
+    stored = [];
+    stored_count = 0;
+    total = 0;
+    checks = 0;
+    injected = [];
+    gauges = [];
+  }
 
 let record t ~at ~invariant ~detail =
   t.total <- t.total + 1;
@@ -26,6 +35,10 @@ let note_fault t name =
   | Some n -> t.injected <- (name, n + 1) :: List.remove_assoc name t.injected
   | None -> t.injected <- (name, 1) :: t.injected
 
+let set_gauge t name value = t.gauges <- (name, value) :: List.remove_assoc name t.gauges
+let gauge t name = List.assoc_opt name t.gauges
+let gauges t = List.sort (fun (a, _) (b, _) -> compare a b) t.gauges
+
 let violations t = List.rev t.stored
 let violation_count t = t.total
 let checks_run t = t.checks
@@ -37,6 +50,10 @@ let pp fmt t =
   if t.injected = [] then Format.fprintf fmt " none"
   else
     List.iter (fun (name, n) -> Format.fprintf fmt " %s=%d" name n) (faults_injected t);
+  if t.gauges <> [] then begin
+    Format.fprintf fmt "@ counters:";
+    List.iter (fun (name, v) -> Format.fprintf fmt " %s=%d" name v) (gauges t)
+  end;
   Format.fprintf fmt "@ checks=%d violations=%d@ " t.checks t.total;
   List.iter
     (fun v ->

@@ -20,6 +20,14 @@ val note_check : t -> unit
 val note_fault : t -> string -> unit
 (** Count one injected fault by action name. *)
 
+val set_gauge : t -> string -> int -> unit
+(** Record an end-of-run counter (WAL errors, retries, sheds, give-ups
+    …) under a stable name; overwrites any previous value. *)
+
+val gauge : t -> string -> int option
+val gauges : t -> (string * int) list
+(** Sorted by name. *)
+
 val violations : t -> violation list
 (** Stored violation records, oldest first. *)
 

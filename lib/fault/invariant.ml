@@ -114,7 +114,35 @@ let check_store (d : Driver.t) =
       :: !acc;
   List.rev !acc
 
-let check_all d = check_chains d @ check_stats d @ check_store d
+(* ------------------------------------------------------------------ *)
+(* Governor: space envelope and ladder honesty.
+
+   Both checks read the governor's *configured* quota, never its
+   willingness to act on it — that is what lets a campaign under
+   [quota_ignore_sabotage] catch the breach the sabotaged governor
+   ignores, exactly as the prune-soundness audit catches a widened
+   zone. *)
+
+let check_governor (d : Driver.t) =
+  let st : State.t = d in
+  let g = st.State.governor in
+  let quota = (Governor.config g).Governor.hard_quota_bytes in
+  if quota <= 0 then []
+  else begin
+    let acc = ref [] in
+    (match st.State.post_maintain_space with
+    | Some (at, space) when space > quota ->
+        acc :=
+          v "space-quota" "post-maintenance space %d B exceeds the %d B hard quota (at %s)"
+            space quota
+            (Format.asprintf "%a" Clock.pp at)
+          :: !acc
+    | _ -> ());
+    List.iter (fun msg -> acc := v "governor-ladder" "%s" msg :: !acc) (Governor.check_ladder g);
+    List.rev !acc
+  end
+
+let check_all d = check_chains d @ check_stats d @ check_store d @ check_governor d
 
 (* ------------------------------------------------------------------ *)
 (* §3.5 post-crash emptiness *)

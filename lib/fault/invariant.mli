@@ -21,6 +21,11 @@
     - {b store accounting} — [live_bytes] equals the sum over resident
       hardened segments, and the segment index holds exactly the open,
       sealed and hardened segments;
+    - {b space quota} — when a governor quota is configured, the space
+      reading at every post-maintenance checkpoint is within the hard
+      quota (this is what catches [quota_ignore_sabotage]);
+    - {b governor ladder} — every logged health transition is between
+      adjacent rungs and respects the hysteresis thresholds;
     - {b post-crash emptiness} — after [crash_restart] the LLB, the
       vBuffer, the version store and its cache are all empty (§3.5,
       Figure 10b). *)
@@ -33,8 +38,16 @@ val check_chains : Driver.t -> violation list
 val check_stats : Driver.t -> violation list
 val check_store : Driver.t -> violation list
 
+val check_governor : Driver.t -> violation list
+(** Overload-protection honesty, against the {e configured} quota (so a
+    sabotaged governor that ignores its quota is still judged by it):
+    the most recent post-maintenance space checkpoint must not exceed
+    the hard quota, and the governor's transition log must be adjacent
+    and hysteresis-respecting ({!Governor.check_ladder}). Empty when no
+    quota is configured. *)
+
 val check_all : Driver.t -> violation list
-(** The three steady-state checks above, concatenated. *)
+(** The steady-state checks above, concatenated. *)
 
 val check_post_crash : Driver.t -> violation list
 (** To be run immediately after a crash-restart, before any new

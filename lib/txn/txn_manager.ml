@@ -86,6 +86,9 @@ let oldest_visible_horizon t =
     (fun acc view -> min acc (Read_view.oldest_visible_horizon view))
     (oracle t) (live_views t)
 
+let shed_candidates t ~now ~min_age =
+  live_txns_sorted t |> List.filter (fun txn -> Txn.age txn ~now > min_age)
+
 let llt_views t ~now ~delta_llt =
   live_txns_sorted t
   |> List.filter (fun txn -> Txn.age txn ~now > delta_llt)

@@ -32,6 +32,11 @@ val oldest_visible_horizon : t -> Timestamp.t
     the vanilla purge/vacuum boundary. Equals the oracle when no
     transaction is live. *)
 
+val shed_candidates : t -> now:Clock.time -> min_age:Clock.time -> Txn.t list
+(** Live transactions older than [min_age], oldest begin timestamp
+    first — the victim order of the governor's snapshot-too-old policy
+    (shed the most harmful pin first). *)
+
 val llt_views : t -> now:Clock.time -> delta_llt:Clock.time -> Read_view.t list
 (** Views of live transactions whose age exceeds [delta_llt] — the
     classifier's notion of "known LLTs". A transaction younger than the

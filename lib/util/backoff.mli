@@ -1,0 +1,33 @@
+(** Bounded exponential backoff with deterministic jitter.
+
+    The retry policy the runner applies to governor-aborted (shed) and
+    fault-aborted transactions: delay doubles per consecutive failure up
+    to a cap, a seeded jitter term decorrelates retriers, and after
+    [max_attempts] failures the caller is told to give up. Every delay
+    is a pure function of the generator's seed and the attempt sequence,
+    so retry schedules replay bit-for-bit. *)
+
+type t
+
+val create :
+  ?base_ns:int -> ?cap_ns:int -> ?max_attempts:int -> ?jitter_frac:float -> Rng.t -> t
+(** [base_ns] first-retry delay (default 100 us), [cap_ns] ceiling on
+    the exponential term (default 10 ms), [max_attempts] consecutive
+    failures tolerated before giving up (default 8), [jitter_frac]
+    uniform additive jitter as a fraction of the chosen delay (default
+    0.25). Raises [Invalid_argument] on non-positive [base_ns],
+    [cap_ns] or [max_attempts], or a negative [jitter_frac]. *)
+
+val next : t -> int option
+(** Record one more consecutive failure and return the delay (ns) to
+    wait before the retry, or [None] when the attempt budget is
+    exhausted — the caller should count a give-up and {!reset}. *)
+
+val reset : t -> unit
+(** Back to zero consecutive failures (call after a success or a
+    give-up). Does not rewind the jitter stream. *)
+
+val attempts : t -> int
+(** Consecutive failures recorded since the last {!reset}. *)
+
+val max_attempts : t -> int

@@ -15,6 +15,10 @@ type result = {
   cut_delays : (Vclass.t * Clock.time) list;
   driver : Driver.t option;
   faults : Fault_report.t;
+  wal_errors : int;
+  retries : int;
+  give_ups : int;
+  sheds : int;
 }
 
 let run ~engine ?faults (cfg : Exp_config.t) =
@@ -27,12 +31,34 @@ let run ~engine ?faults (cfg : Exp_config.t) =
   let latency_us = Histogram.create ~bucket_width:10 () in
   let conflicts = ref 0 in
   let llt_reads = ref 0 in
+  let retries = ref 0 in
+  let give_ups = ref 0 in
   let report = Fault_report.create () in
   (* Every process that can hold an open transaction registers a kill
      switch here (in spawn order, so victim selection is deterministic).
      The fault injector uses them for [Abort_txn] and to roll every
      in-flight loser back before a [Crash]. *)
   let abort_slots : (Clock.time -> bool) Vec.t = Vec.create () in
+  (* Tid-targeted kill switches for the governor's snapshot-too-old
+     policy: entries live exactly while the transaction is in flight, so
+     the shed hook rolls the victim back through the engine (undoing its
+     writes) rather than behind its back. *)
+  let shed_tbl : (Timestamp.t, Clock.time -> bool) Hashtbl.t = Hashtbl.create 64 in
+  (match eng.Engine.driver with
+  | Some d ->
+      d.State.shed_hook <-
+        Some
+          (fun ~tid ~now ->
+            match Hashtbl.find_opt shed_tbl tid with Some kill -> kill now | None -> false)
+  | None -> ());
+  (* Externally-aborted transactions (forced aborts, governor sheds)
+     re-execute after a bounded-exponential backoff. Each process owns a
+     backoff state seeded independently of the workload streams, so a
+     run that kills nobody draws nothing and stays bit-identical. *)
+  let make_backoff salt =
+    Backoff.create ~base_ns:(Clock.us 200) ~cap_ns:(Clock.ms 20) ~max_attempts:6
+      (Rng.create (cfg.Exp_config.seed lxor salt))
+  in
   (* Pre-build one sampler per phase so workers just look the pattern
      up by time. *)
   let samplers =
@@ -58,24 +84,46 @@ let run ~engine ?faults (cfg : Exp_config.t) =
   let spawn_worker i =
     let rng = Rng.split master_rng in
     let pending = ref None in
-    Vec.push abort_slots (fun now ->
-        match !pending with
-        | Some txn ->
-            pending := None;
-            ignore (eng.Engine.abort txn ~now);
-            true
-        | None -> false);
+    let killed = ref false in
+    let backoff = make_backoff (0x42e7 lxor (i * 0x9e3779b9)) in
+    let kill now =
+      match !pending with
+      | Some txn ->
+          pending := None;
+          killed := true;
+          Hashtbl.remove shed_tbl txn.Txn.tid;
+          ignore (eng.Engine.abort txn ~now);
+          true
+      | None -> false
+    in
+    Vec.push abort_slots kill;
+    let begin_txn now =
+      let txn, t = eng.Engine.begin_txn ~now in
+      pending := Some txn;
+      Hashtbl.replace shed_tbl txn.Txn.tid kill;
+      Scheduler.Sleep_until t
+    in
     Scheduler.spawn sched ~name:(Printf.sprintf "worker-%d" i) ~at:0 (fun now ->
         match !pending with
         | None ->
-            if now >= horizon then Scheduler.Finished
-            else begin
-              let txn, t = eng.Engine.begin_txn ~now in
-              pending := Some txn;
-              Scheduler.Sleep_until t
+            if !killed then begin
+              killed := false;
+              match Backoff.next backoff with
+              | Some delay ->
+                  incr retries;
+                  Scheduler.Sleep_until (now + delay)
+              | None ->
+                  (* Attempt budget exhausted: give the intent up and
+                     move on to fresh work. *)
+                  incr give_ups;
+                  Backoff.reset backoff;
+                  if now >= horizon then Scheduler.Finished else begin_txn now
             end
+            else if now >= horizon then Scheduler.Finished
+            else begin_txn now
         | Some txn ->
             pending := None;
+            Hashtbl.remove shed_tbl txn.Txn.tid;
             let access = sampler_at (Clock.to_seconds now) in
             let t = ref now in
             (try
@@ -93,6 +141,7 @@ let run ~engine ?faults (cfg : Exp_config.t) =
                      raise Exit
                done;
                t := eng.Engine.commit txn ~now:!t;
+               Backoff.reset backoff;
                Series.Rate.incr commit_rate ~time:(Clock.to_seconds !t);
                Histogram.add latency_us ((!t - txn.Txn.begin_time) / 1_000)
              with Exit ->
@@ -111,13 +160,19 @@ let run ~engine ?faults (cfg : Exp_config.t) =
         let rng = Rng.split master_rng in
         let uniform = Access.create cfg.Exp_config.schema Access.Uniform in
         let state = ref None in
-        Vec.push abort_slots (fun now ->
-            match !state with
-            | Some txn ->
-                state := None;
-                ignore (eng.Engine.abort txn ~now);
-                true
-            | None -> false);
+        let killed = ref false in
+        let backoff = make_backoff (0x11c0ffee lxor ((gi * 131) + li)) in
+        let kill now =
+          match !state with
+          | Some txn ->
+              state := None;
+              killed := true;
+              Hashtbl.remove shed_tbl txn.Txn.tid;
+              ignore (eng.Engine.abort txn ~now);
+              true
+          | None -> false
+        in
+        Vec.push abort_slots kill;
         let llt_end = Clock.seconds (start_s +. duration_s) in
         Scheduler.spawn sched
           ~name:(Printf.sprintf "llt-%d-%d" gi li)
@@ -125,12 +180,30 @@ let run ~engine ?faults (cfg : Exp_config.t) =
           (fun now ->
             match !state with
             | None ->
-                let txn, t = eng.Engine.begin_txn ~now in
-                state := Some txn;
-                Scheduler.Sleep_until t
+                if now >= llt_end || now >= horizon then Scheduler.Finished
+                else if !killed then begin
+                  (* Shed (snapshot-too-old) or fault-aborted: restart
+                     the scan after a backoff, with a fresh read view,
+                     until the attempt budget runs out. *)
+                  killed := false;
+                  match Backoff.next backoff with
+                  | Some delay ->
+                      incr retries;
+                      Scheduler.Sleep_until (now + delay)
+                  | None ->
+                      incr give_ups;
+                      Scheduler.Finished
+                end
+                else begin
+                  let txn, t = eng.Engine.begin_txn ~now in
+                  state := Some txn;
+                  Hashtbl.replace shed_tbl txn.Txn.tid kill;
+                  Scheduler.Sleep_until t
+                end
             | Some txn ->
                 if now >= llt_end || now >= horizon then begin
                   state := None;
+                  Hashtbl.remove shed_tbl txn.Txn.tid;
                   let _ = eng.Engine.commit txn ~now in
                   Scheduler.Finished
                 end
@@ -142,12 +215,22 @@ let run ~engine ?faults (cfg : Exp_config.t) =
                 end)
       done)
     cfg.Exp_config.llts;
-  (* Background GC (vacuum / purge / vCutter). *)
+  (* Background GC (vacuum / purge / vCutter). Under an enabled
+     governor the cadence follows the ladder: Pressured and above
+     shorten the period so maintenance outpaces the pressure. *)
   Scheduler.spawn sched ~name:"gc" ~at:cfg.Exp_config.gc_period (fun now ->
       if now >= horizon then Scheduler.Finished
       else begin
         let t = eng.Engine.maintenance ~now in
-        Scheduler.Sleep_until (max t (now + cfg.Exp_config.gc_period))
+        let period =
+          match eng.Engine.driver with
+          | Some d ->
+              let scale = Governor.gc_scale (Driver.governor d) in
+              max (Clock.us 500)
+                (int_of_float (float_of_int cfg.Exp_config.gc_period *. scale))
+          | None -> cfg.Exp_config.gc_period
+        in
+        Scheduler.Sleep_until (max t (now + period))
       end);
   (* Metrics sampler. *)
   let space_series = Series.create "space" in
@@ -155,7 +238,7 @@ let run ~engine ?faults (cfg : Exp_config.t) =
   let chain_series = Series.create "chain" in
   let split_series = Series.create "splits" in
   let sample_period = Clock.seconds cfg.Exp_config.sample_period_s in
-  let last_sample = ref { Engine.version_bytes = 0; redo_bytes = 0; max_chain = 0; splits = 0; truncations = 0; latch_wait = 0 } in
+  let last_sample = ref { Engine.version_bytes = 0; redo_bytes = 0; max_chain = 0; splits = 0; truncations = 0; latch_wait = 0; wal_errors = 0 } in
   Scheduler.spawn sched ~name:"sampler" ~at:sample_period (fun now ->
       let s = eng.Engine.sample () in
       last_sample := s;
@@ -219,6 +302,26 @@ let run ~engine ?faults (cfg : Exp_config.t) =
             match eng.Engine.driver with
             | Some d -> Buffer_pool.clear d.State.store_cache
             | None -> ())
+        | Fault_plan.Space_storm ->
+            (* A burst writer: displace a volley of versions in one
+               instant, squeezing the version-space quota. Drawn from
+               the victim stream so a plan without storms stays
+               bit-identical. *)
+            let records = Schema.records cfg.Exp_config.schema in
+            let txn, _ = eng.Engine.begin_txn ~now in
+            let conflicted = ref false in
+            (try
+               for _ = 1 to 48 do
+                 let rid = Rng.int victim_rng records in
+                 match
+                   eng.Engine.write txn ~rid ~payload:(Rng.int victim_rng 1_000_000) ~now
+                 with
+                 | Engine.Committed_path _ -> ()
+                 | Engine.Conflict _ -> raise Exit
+               done
+             with Exit -> conflicted := true);
+            if !conflicted then ignore (eng.Engine.abort txn ~now)
+            else ignore (eng.Engine.commit txn ~now)
       in
       Scheduler.set_probe sched (fun ~name:_ ~now ->
           List.iter (fun action -> apply action ~now) (Fault_plan.poll plan ~now)));
@@ -237,8 +340,23 @@ let run ~engine ?faults (cfg : Exp_config.t) =
       true
   in
   if not engine_failed then eng.Engine.finish ~now:horizon;
-  (match eng.Engine.driver with Some d -> Invariant.remove_prune_audit d | None -> ());
+  (match eng.Engine.driver with
+  | Some d ->
+      Invariant.remove_prune_audit d;
+      d.State.shed_hook <- None
+  | None -> ());
   let final = eng.Engine.sample () in
+  let sheds =
+    match eng.Engine.driver with
+    | Some d -> Governor.sheds (Driver.governor d)
+    | None -> 0
+  in
+  (* Robustness counters, surfaced both in the result record and in the
+     report so chaos campaigns print them. *)
+  Fault_report.set_gauge report "wal-errors" final.Engine.wal_errors;
+  Fault_report.set_gauge report "retries" !retries;
+  Fault_report.set_gauge report "give-ups" !give_ups;
+  Fault_report.set_gauge report "sheds" sheds;
   let cdf = Histogram.cdf (eng.Engine.chain_histogram ()) in
   {
     engine_name = eng.Engine.name;
@@ -260,6 +378,10 @@ let run ~engine ?faults (cfg : Exp_config.t) =
       | None -> []);
     driver = eng.Engine.driver;
     faults = report;
+    wal_errors = final.Engine.wal_errors;
+    retries = !retries;
+    give_ups = !give_ups;
+    sheds;
   }
 
 let avg_throughput r ~between:(lo, hi) =

@@ -29,7 +29,16 @@ type result = {
   driver : Driver.t option;
   faults : Fault_report.t;
       (** injected faults, invariant sweeps, and any violations; empty
-          when the run had no fault plan *)
+          when the run had no fault plan. Always carries the end-of-run
+          robustness gauges ([wal-errors], [retries], [give-ups],
+          [sheds]). *)
+  wal_errors : int;  (** log appends rejected by fault injection *)
+  retries : int;
+      (** backed-off re-executions after forced aborts and governor
+          sheds (both OLTP workers and LLT drivers) *)
+  give_ups : int;  (** transactions abandoned after the retry budget *)
+  sheds : int;
+      (** victims evicted by the governor's snapshot-too-old policy *)
 }
 
 val run : engine:(Schema.t -> Engine.t) -> ?faults:Fault_plan.t -> Exp_config.t -> result
@@ -37,11 +46,19 @@ val run : engine:(Schema.t -> Engine.t) -> ?faults:Fault_plan.t -> Exp_config.t 
     discrete-event simulation. With [?faults], the scheduler's dispatch
     probe consults the plan before every process step; due injections
     (crashes, forced aborts, WAL errors, flush failures, cache eviction
-    storms) are applied to the engine, a continuous prune-soundness
-    audit is armed on the vDriver instance, and a periodic process
-    sweeps the full invariant catalogue ({!Invariant.check_all}),
-    collecting everything into [result.faults]. A plan that injects
-    nothing leaves the run bit-identical to a run without one. *)
+    storms, space storms) are applied to the engine, a continuous
+    prune-soundness audit is armed on the vDriver instance, and a
+    periodic process sweeps the full invariant catalogue
+    ({!Invariant.check_all}), collecting everything into
+    [result.faults]. A plan that injects nothing leaves the run
+    bit-identical to a run without one.
+
+    When the engine has a vDriver, the runner installs the governor's
+    shed hook (so snapshot-too-old victims are rolled back through the
+    engine), paces background maintenance by {!Governor.gc_scale}, and
+    re-executes externally-aborted workers and LLT drivers under a
+    seeded bounded-exponential backoff (200 us base, 20 ms cap, 6
+    attempts, deterministic jitter). *)
 
 val avg_throughput : result -> between:float * float -> float
 (** Mean commits/s over a closed time window. *)
