@@ -21,6 +21,7 @@ let all : (string * (unit -> unit)) list =
     ("ablation", Ablation.run);
     ("recovery", Recovery.run);
     ("micro", Micro.run);
+    ("obs", Obs_point.run);
   ]
 
 let () =

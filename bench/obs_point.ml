@@ -1,0 +1,57 @@
+(* Observability point: one canonical vDriver scenario run with the
+   metrics registry in scope, exported as BENCH_obs.json. This is the
+   machine-readable companion to the figure tables — a flat metrics
+   snapshot (validated by bin/obs_check's schema) whose headline gauges
+   are the numbers a regression tracker wants: throughput, p50/p99
+   chain-scan length, peak version-space bytes and the prune
+   completeness ratio. *)
+
+let cfg =
+  {
+    Exp_config.default with
+    Exp_config.name = "obs-point";
+    duration_s = Common.sec 12.;
+    workers = 16;
+    schema = Common.small_schema;
+    phases = [ { Exp_config.at_s = 0.; pattern = Access.Zipfian 0.9 } ];
+    llts = [ { Exp_config.start_s = Common.sec 3.; duration_s = Common.sec 6.; count = 4 } ];
+  }
+
+let headline = [
+    "txn.throughput";
+    "scan.p50";
+    "scan.p99";
+    "space.peak_bytes";
+    "prune.completeness";
+  ]
+
+let run () =
+  Common.section ~figure:"OBS" ~title:"Observability point (BENCH_obs.json)"
+    ~expectation:
+      "the traced pg-vdriver run exports every headline gauge; prune completeness \
+       stays near 1.0 and the p99 chain scan stays short even with LLTs pinning \
+       versions";
+  let reg = Metrics.create () in
+  let r =
+    Metrics.with_registry reg (fun () ->
+        Runner.run ~engine:(Common.make_engine "pg-vdriver") cfg)
+  in
+  let json = Metrics.to_json reg in
+  Obs_export.write_file "BENCH_obs.json" json;
+  (match Obs_schema.check_metrics json with
+  | [] -> ()
+  | problems ->
+      List.iter (Printf.printf "SCHEMA VIOLATION: %s\n") problems;
+      failwith "obs_point: BENCH_obs.json failed its own schema");
+  let snapshot = Metrics.snapshot reg in
+  let value name =
+    match List.assoc_opt name snapshot with
+    | Some (Metrics.Gauge v) -> Printf.sprintf "%.3f" v
+    | Some (Metrics.Counter n) -> string_of_int n
+    | Some (Metrics.Histo h) ->
+        Printf.sprintf "n=%d p99=%d" (Histogram.total h) (Histogram.percentile h 0.99)
+    | None -> "-"
+  in
+  Table.print ~header:[ "metric"; "value" ] (List.map (fun n -> [ n; value n ]) headline);
+  Printf.printf "commits=%d conflicts=%d -> BENCH_obs.json (%d metrics)\n" r.Runner.commits
+    r.Runner.conflicts (List.length snapshot)

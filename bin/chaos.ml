@@ -52,7 +52,7 @@ let campaign_config ~seed ~duration =
   }
 
 let run_campaigns (ename, engine) seed campaigns duration sabotage quota quota_sabotage
-    require_shed =
+    require_shed trace_out metrics_out =
   let governor =
     if quota <= 0 then Governor.default_config
     else { (Governor.governed ~quota_bytes:quota) with Governor.quota_ignore_sabotage = quota_sabotage }
@@ -71,6 +71,11 @@ let run_campaigns (ename, engine) seed campaigns duration sabotage quota quota_s
   let total_violations = ref 0 in
   let shed_recoveries = ref 0 in
   let horizon = Clock.seconds duration in
+  (* One obs scope spans all campaigns: the trace shows the campaigns
+     back to back and the metrics snapshot aggregates them. The exports
+     are written before the violation count decides the exit status, so
+     a failing campaign still leaves its artifacts behind. *)
+  Obs_export.with_obs ?trace:trace_out ?metrics:metrics_out (fun () ->
   List.iteri
     (fun i campaign_seed ->
       let plan = Fault_plan.random ~seed:campaign_seed in
@@ -93,7 +98,7 @@ let run_campaigns (ename, engine) seed campaigns duration sabotage quota quota_s
             (fun fmt g -> Governor.pp_summary fmt ~now:horizon g)
             g
       | _ -> ())
-    campaign_seeds;
+    campaign_seeds);
   Printf.printf "chaos: %d campaign(s), %d violation(s)\n" campaigns !total_violations;
   if require_shed then
     Printf.printf "chaos: %d campaign(s) shed and recovered to normal\n" !shed_recoveries;
@@ -151,10 +156,26 @@ let cmd =
             "Fail unless at least one campaign climbed the ladder to Shedding and recovered \
              to Normal by the end of the run.")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace_event JSON covering every campaign (one thread per \
+             pipeline subsystem, fault injections on their own track).")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"Write the flat metrics JSON aggregated across all campaigns.")
+  in
   Cmd.v
     (Cmd.info "chaos" ~doc:"Seeded fault-injection campaigns with online invariant checking.")
     Term.(
       const run_campaigns $ engine $ seed $ campaigns $ duration $ sabotage $ quota
-      $ quota_sabotage $ require_shed)
+      $ quota_sabotage $ require_shed $ trace_out $ metrics_out)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,92 @@
+(* In-repo schema checker for the observability exports: validates a
+   Chrome trace_event JSON (--trace) and/or a flat metrics JSON
+   (--metrics) produced by `vdriver_sim run` / `chaos`, and exits
+   non-zero listing every violation. CI runs this over the smoke-job
+   artifacts so a malformed export fails the build, not the person who
+   later loads it in chrome://tracing. *)
+
+open Cmdliner
+
+let load path =
+  let ic = open_in_bin path in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Jsonx.of_string contents with
+  | Ok json -> Ok json
+  | Error msg -> Error (Printf.sprintf "%s: JSON parse error: %s" path msg)
+
+let report label path problems =
+  if problems = [] then begin
+    Printf.printf "obs_check: %s OK (%s)\n" label path;
+    0
+  end
+  else begin
+    Printf.printf "obs_check: %s INVALID (%s):\n" label path;
+    List.iter (fun p -> Printf.printf "  - %s\n" p) problems;
+    List.length problems
+  end
+
+let check trace metrics min_tracks no_required =
+  if trace = None && metrics = None then begin
+    prerr_endline "obs_check: nothing to check (pass --trace and/or --metrics)";
+    exit 2
+  end;
+  let failures = ref 0 in
+  (match trace with
+  | None -> ()
+  | Some path -> (
+      match load path with
+      | Error msg ->
+          Printf.printf "obs_check: %s\n" msg;
+          incr failures
+      | Ok json ->
+          failures := !failures + report "trace" path (Obs_schema.check_trace ~min_tracks json)));
+  (match metrics with
+  | None -> ()
+  | Some path -> (
+      match load path with
+      | Error msg ->
+          Printf.printf "obs_check: %s\n" msg;
+          incr failures
+      | Ok json ->
+          let required = if no_required then [] else Obs_schema.default_metrics_required in
+          failures := !failures + report "metrics" path (Obs_schema.check_metrics ~required json)));
+  if !failures > 0 then exit 1
+
+let cmd =
+  let trace =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "trace" ] ~docv:"FILE" ~doc:"Chrome trace_event JSON to validate.")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "metrics" ] ~docv:"FILE" ~doc:"Flat metrics JSON to validate.")
+  in
+  let min_tracks =
+    Arg.(
+      value & opt int 1
+      & info [ "min-tracks" ] ~docv:"N"
+          ~doc:
+            "Require at least this many distinct subsystem tracks (non-metadata tids) \
+             in the trace — the coverage floor CI holds the instrumentation to.")
+  in
+  let no_required =
+    Arg.(
+      value & flag
+      & info [ "no-required" ]
+          ~doc:
+            "Skip the headline-gauge presence check (txn.throughput, scan percentiles, \
+             space peak, prune completeness) when validating metrics.")
+  in
+  Cmd.v
+    (Cmd.info "obs_check" ~doc:"Validate observability exports against the in-repo schema.")
+    Term.(const check $ trace $ metrics $ min_tracks $ no_required)
+
+let () = exit (Cmd.eval cmd)

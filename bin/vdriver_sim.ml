@@ -51,8 +51,27 @@ let run_cmd =
              Nonzero arms the Normal/Pressured/Emergency/Shedding ladder and prints its \
              summary after the time series.")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace_event JSON of the run (one thread per pipeline \
+             subsystem; load in chrome://tracing or Perfetto). Tracing is off by \
+             default and leaves the simulation bit-identical when disabled.")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write the flat metrics JSON snapshot (counters, gauges, histogram \
+             summaries) collected during the run.")
+  in
   let run (ename, engine) duration workers zipf llt_start llt_duration llts tables rows
-      record_bytes seed quota =
+      record_bytes seed quota trace_out metrics_out =
     let pattern = if zipf <= 0. then Access.Uniform else Access.Zipfian zipf in
     let cfg =
       {
@@ -72,7 +91,10 @@ let run_cmd =
       if quota <= 0 then State.default_config
       else { State.default_config with State.governor = Governor.governed ~quota_bytes:quota }
     in
-    let r = Runner.run ~engine:(engine driver_config) cfg in
+    let r =
+      Obs_export.with_obs ?trace:trace_out ?metrics:metrics_out (fun () ->
+          Runner.run ~engine:(engine driver_config) cfg)
+    in
     Printf.printf "# engine=%s duration=%.0fs workers=%d access=%s llts=%d\n" r.Runner.engine_name
       duration workers
       (Access.pattern_to_string pattern)
@@ -108,7 +130,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run one experiment and print its time series.")
     Term.(
       const run $ engine $ duration $ workers $ zipf $ llt_start $ llt_duration $ llts $ tables
-      $ rows $ record_bytes $ seed $ quota)
+      $ rows $ record_bytes $ seed $ quota $ trace_out $ metrics_out)
 
 let compare_cmd =
   let duration =

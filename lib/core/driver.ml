@@ -52,6 +52,9 @@ let shed_victims (t : t) ~now =
   let shed = kill 0 candidates in
   if shed > 0 then begin
     Governor.note_shed g shed;
+    if Trace.on () then
+      Trace.instant Trace.Governor "shed" ~at:now
+        [ ("victims", Trace.I shed); ("candidates", Trace.I (List.length candidates)) ];
     (* The dead-zone boundary just collapsed: reclaim immediately. *)
     State.refresh_zones t ~now
   end;
@@ -73,6 +76,7 @@ let maintain_pass (t : t) ~now =
    and both are finite. *)
 let maintain t ~now =
   let g = t.State.governor in
+  let rounds_run = ref 1 in
   let acc = ref (maintain_pass t ~now) in
   if Governor.enabled g then begin
     let rec enforce rounds =
@@ -85,6 +89,7 @@ let maintain t ~now =
         in
         if progress then begin
           let swept, cut = maintain_pass t ~now in
+          incr rounds_run;
           acc := (combine_sweeps (fst !acc) swept, combine_cuts (snd !acc) cut);
           enforce (rounds - 1)
         end
@@ -99,6 +104,19 @@ let maintain t ~now =
     let space = State.space_bytes t in
     Governor.note_headroom g ~now ~space_bytes:space;
     t.State.post_maintain_space <- Some (now, space)
+  end;
+  Metrics.bump "driver.maintains";
+  if Trace.on () then begin
+    let swept, cut = !acc in
+    Trace.span Trace.Governor "maintain" ~start:now ~dur:0
+      [
+        ("rung", Trace.S (Governor.rung_name (Governor.rung g)));
+        ("rounds", Trace.I !rounds_run);
+        ("versions_pruned", Trace.I swept.Vsorter.versions_pruned);
+        ("versions_stored", Trace.I swept.Vsorter.versions_stored);
+        ("segments_cut", Trace.I cut.Vcutter.segments_cut);
+        ("space_bytes", Trace.I (State.space_bytes t));
+      ]
   end;
   !acc
 

@@ -113,7 +113,17 @@ let transition t ~now ~space_bytes to_rung =
     t.dwell.(rung_index from_rung) + max 0 (now - t.entered_at);
   t.rung <- to_rung;
   t.entered_at <- now;
-  t.log <- { at = now; from_rung; to_rung; space_bytes } :: t.log
+  t.log <- { at = now; from_rung; to_rung; space_bytes } :: t.log;
+  Metrics.bump "governor.transitions";
+  if Trace.on () then
+    Trace.instant Trace.Governor
+      (if rung_index to_rung > rung_index from_rung then "escalate" else "de-escalate")
+      ~at:now
+      [
+        ("from", Trace.S (rung_name from_rung));
+        ("to", Trace.S (rung_name to_rung));
+        ("space_bytes", Trace.I space_bytes);
+      ]
 
 let observe t ~now ~space_bytes =
   if not (enabled t) then Normal
@@ -144,15 +154,26 @@ let gc_scale t =
 
 let emergency_active t = match t.rung with Emergency | Shedding -> true | _ -> false
 let shed_active t = t.rung = Shedding
-let note_shed t n = t.sheds <- t.sheds + n
+let note_shed t n =
+  t.sheds <- t.sheds + n;
+  Metrics.bump_by "governor.sheds" n
+
 let sheds t = t.sheds
-let note_assist t = t.assists <- t.assists + 1
+
+let note_assist t =
+  t.assists <- t.assists + 1;
+  Metrics.bump "governor.assists"
+
 let assists t = t.assists
 
 let note_headroom t ~now ~space_bytes =
-  if enabled t then
+  if enabled t then begin
     Series.add t.headroom ~time:(Clock.to_seconds now)
-      ~value:(float_of_int (max 0 (t.config.hard_quota_bytes - space_bytes)))
+      ~value:(float_of_int (max 0 (t.config.hard_quota_bytes - space_bytes)));
+    (* A counter-phase event renders the space curve as a graph track in
+       chrome://tracing, right above the ladder's instants. *)
+    Trace.count Trace.Governor "space_bytes" ~at:now space_bytes
+  end
 
 let headroom_series t = t.headroom
 let transitions t = List.rev t.log

@@ -35,6 +35,14 @@ let cut_segment (st : State.t) seg ~now =
   Version_store.cut st.State.store seg ~now;
   Buffer_pool.evict st.State.store_cache ~block:seg.Segment.id;
   State.drop_segment st seg;
+  if Trace.on () then
+    Trace.instant Trace.Vcutter "cut-segment" ~at:now
+      [
+        ("seg", Trace.I seg.Segment.id);
+        ("class", Trace.S (Vclass.to_string seg.Segment.cls));
+        ("versions", Trace.I !versions);
+        ("bytes", Trace.I bytes);
+      ];
   (!versions, bytes)
 
 let step (st : State.t) ~now ~max_segments =
@@ -61,6 +69,22 @@ let step (st : State.t) ~now ~max_segments =
         in
         cut_up_to acc (n - 1) rest
   in
-  cut_up_to
-    { segments_cut = 0; versions_cut = 0; bytes_reclaimed = 0; segments_scanned = !scanned }
-    max_segments candidates
+  let r =
+    cut_up_to
+      { segments_cut = 0; versions_cut = 0; bytes_reclaimed = 0; segments_scanned = !scanned }
+      max_segments candidates
+  in
+  Metrics.bump_by "vcutter.segments_scanned" r.segments_scanned;
+  Metrics.bump_by "vcutter.segments_cut" r.segments_cut;
+  Metrics.bump_by "vcutter.versions_cut" r.versions_cut;
+  Metrics.bump_by "vcutter.bytes_reclaimed" r.bytes_reclaimed;
+  if Trace.on () then
+    Trace.span Trace.Vcutter "cut-round" ~start:now ~dur:0
+      [
+        ("scanned", Trace.I r.segments_scanned);
+        ("cut", Trace.I r.segments_cut);
+        ("versions", Trace.I r.versions_cut);
+        ("bytes_reclaimed", Trace.I r.bytes_reclaimed);
+        ("budget", Trace.I max_segments);
+      ];
+  r

@@ -35,6 +35,16 @@ let harden_segment (st : State.t) seg ~now =
   for _ = 1 to stored do
     Prune_stats.note_stored st.State.stats seg.Segment.cls
   done;
+  Metrics.bump "vsorter.segments_flushed";
+  Metrics.bump_by "vsorter.versions_stored" stored;
+  if Trace.on () then
+    Trace.instant Trace.Vsorter "flush" ~at:now
+      [
+        ("seg", Trace.I seg.Segment.id);
+        ("class", Trace.S (Vclass.to_string seg.Segment.cls));
+        ("versions", Trace.I stored);
+        ("bytes", Trace.I seg.Segment.used_bytes);
+      ];
   stored
 
 let sweep (st : State.t) ~now =
@@ -79,7 +89,19 @@ let sweep (st : State.t) ~now =
     end
   in
   relieve ();
-  !result
+  let r = !result in
+  Metrics.bump_by "vsorter.segments_dropped" r.segments_dropped;
+  Metrics.bump_by "vsorter.prune2" r.versions_pruned;
+  if Trace.on () then
+    Trace.span Trace.Vsorter "sweep" ~start:now ~dur:0
+      [
+        ("segments_dropped", Trace.I r.segments_dropped);
+        ("versions_pruned", Trace.I r.versions_pruned);
+        ("segments_flushed", Trace.I r.segments_flushed);
+        ("versions_stored", Trace.I r.versions_stored);
+        ("buffered_bytes", Trace.I (State.buffered_bytes st));
+      ];
+  r
 
 let seal (st : State.t) ~cls =
   let idx = Vclass.to_index cls in
@@ -116,9 +138,11 @@ let relocate (st : State.t) version ~now =
      committed after the snapshot's C^T — rapid updates under skew —
      legitimately pass this first stage and die at the segment prune
      instead, exactly the Figure 15 breakdown. *)
+  Metrics.bump "vsorter.relocations";
   if State.interval_dead st ~lo ~hi then begin
     State.audit_prune st ~now ~origin:`Prune1 ~lo ~hi;
     Prune_stats.note_prune1 st.State.stats cls;
+    Metrics.bump "vsorter.prune1";
     Pruned_first cls
   end
   else begin

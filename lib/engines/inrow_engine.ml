@@ -59,7 +59,7 @@ let write st (txn : Txn.t) ~rid ~payload ~now =
     current.ve <- txn.Txn.tid;
     Vec.push vec { vs = txn.Txn.tid; ve = Timestamp.infinity; payload };
     note_write st txn rid;
-    Wal.append st.wal ~bytes:st.schema.Schema.record_bytes;
+    Wal.append st.wal ~at:now ~bytes:st.schema.Schema.record_bytes ();
     let split =
       Heap.add_version_bytes st.heap ~rid ~bytes:st.schema.Schema.record_bytes = `Split
     in

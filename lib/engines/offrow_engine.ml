@@ -105,7 +105,7 @@ let write st (txn : Txn.t) ~rid ~payload ~now =
     if st.undo_live_bytes > st.undo_alloc_bytes then st.undo_alloc_bytes <- st.undo_live_bytes;
     st.current.(rid) <- { vs = txn.Txn.tid; ve = Timestamp.infinity; payload; undo_page = -1 };
     note_write st txn rid;
-    Wal.append st.wal ~bytes;
+    Wal.append st.wal ~at:now ~bytes ();
     (* Undo-log header bookkeeping rides the global rollback-segment
        mutex — stock MySQL's "giant latch" (§4.2). *)
     let t = Queue_model.service st.rseg ~now ~hold:st.costs.Costs.undo_header in

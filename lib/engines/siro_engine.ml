@@ -28,12 +28,21 @@ let read st (txn : Txn.t) ~rid ~now =
     Resource.acquire page.Page.latch ~now ~hold:(st.costs.Costs.read_base + copy_cost)
   in
   match Siro.read_inrow st.slots.(rid) txn.Txn.view with
-  | Some v -> (v.Version.payload, t + st.costs.Costs.think)
+  | Some v ->
+      (* In-row hit: the scan touched only the slot pair. *)
+      Metrics.observe "scan.chain_length" 1;
+      (v.Version.payload, t + st.costs.Costs.think)
   | None -> (
       (* Off-row lookup through LLB and the version buffer — no page
          latch held while walking. *)
       match Driver.read st.driver txn.Txn.view ~rid with
       | Some (v, source, hops) ->
+          (* Both in-row versions were checked before the chain walk. *)
+          Metrics.observe "scan.chain_length" (2 + hops);
+          (match source with
+          | Driver.From_vbuffer -> Metrics.bump "read.vbuffer"
+          | Driver.From_store_cached -> Metrics.bump "read.store_cached"
+          | Driver.From_store_io -> Metrics.bump "read.store_io");
           let cost =
             st.costs.Costs.llb_lookup
             + (hops * st.costs.Costs.version_hop)
@@ -63,7 +72,7 @@ let write st (txn : Txn.t) ~rid ~payload ~now =
       Siro.update slot ~vs:txn.Txn.tid ~vs_time:now ~payload ~bytes:st.schema.Schema.record_bytes
     in
     if cur.Version.vs <> txn.Txn.tid then note_write st txn rid;
-    Wal.append st.wal ~bytes:st.schema.Schema.record_bytes;
+    Wal.append st.wal ~at:now ~bytes:st.schema.Schema.record_bytes ();
     let reloc_cost =
       match r.Siro.relocated with
       | None -> 0
@@ -71,17 +80,28 @@ let write st (txn : Txn.t) ~rid ~payload ~now =
           let g = Driver.governor st.driver in
           let assists_before = Governor.assists g in
           let base = st.costs.Costs.zone_check + st.costs.Costs.segment_append in
+          let outcome = Driver.relocate st.driver v ~now in
           let c =
-            match Driver.relocate st.driver v ~now with
+            match outcome with
             | Vsorter.Pruned_first _ -> base
             | Vsorter.Buffered _ -> base + st.costs.Costs.segment_append
           in
+          let assisted = Governor.assists g > assists_before in
+          if Trace.on () then
+            Trace.instant Trace.Engine "relocate" ~at:now
+              [
+                ("rid", Trace.I rid);
+                ( "outcome",
+                  Trace.S
+                    (match outcome with
+                    | Vsorter.Pruned_first cls -> "pruned-first:" ^ Vclass.to_string cls
+                    | Vsorter.Buffered cls -> "buffered:" ^ Vclass.to_string cls) );
+                ("assisted", Trace.I (if assisted then 1 else 0));
+              ];
           (* Emergency backpressure: when the governor made this writer
              run a synchronous maintenance pass, the writer pays for it
              (sync-flush-point semantics). *)
-          if Governor.assists g > assists_before then
-            c + st.costs.Costs.gc_page_scan + st.costs.Costs.io_latency
-          else c
+          if assisted then c + st.costs.Costs.gc_page_scan + st.costs.Costs.io_latency else c
     in
     (* The MySQL flavor still writes an undo log (kept until commit,
        recycled without touching the global history list — the temporal

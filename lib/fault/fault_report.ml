@@ -23,17 +23,24 @@ let create ?(max_details = 64) () =
 
 let record t ~at ~invariant ~detail =
   t.total <- t.total + 1;
+  Metrics.bump "fault.violations";
+  if Trace.on () then
+    Trace.instant Trace.Fault "violation" ~at
+      [ ("invariant", Trace.S invariant); ("detail", Trace.S detail) ];
   if t.stored_count < t.max_details then begin
     t.stored <- { at; invariant; detail } :: t.stored;
     t.stored_count <- t.stored_count + 1
   end
 
-let note_check t = t.checks <- t.checks + 1
+let note_check t =
+  t.checks <- t.checks + 1;
+  Metrics.bump "fault.checks"
 
 let note_fault t name =
-  match List.assoc_opt name t.injected with
+  Metrics.bump "fault.injected";
+  (match List.assoc_opt name t.injected with
   | Some n -> t.injected <- (name, n + 1) :: List.remove_assoc name t.injected
-  | None -> t.injected <- (name, 1) :: t.injected
+  | None -> t.injected <- (name, 1) :: t.injected)
 
 let set_gauge t name value = t.gauges <- (name, value) :: List.remove_assoc name t.gauges
 let gauge t name = List.assoc_opt name t.gauges

@@ -1,0 +1,259 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Printer *)
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_repr f =
+  if Float.is_nan f || Float.abs f = Float.infinity then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f.0" f
+  else Printf.sprintf "%.12g" f
+
+let rec to_buffer buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | Str s -> escape_to buf s
+  | Arr xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          to_buffer buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj members ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_to buf k;
+          Buffer.add_char buf ':';
+          to_buffer buf v)
+        members;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 1024 in
+  to_buffer buf v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parser *)
+
+exception Parse_error of int * string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' -> (
+          if !pos >= n then fail "unterminated escape";
+          let e = s.[!pos] in
+          advance ();
+          match e with
+          | '"' | '\\' | '/' ->
+              Buffer.add_char buf e;
+              loop ()
+          | 'n' ->
+              Buffer.add_char buf '\n';
+              loop ()
+          | 't' ->
+              Buffer.add_char buf '\t';
+              loop ()
+          | 'r' ->
+              Buffer.add_char buf '\r';
+              loop ()
+          | 'b' ->
+              Buffer.add_char buf '\b';
+              loop ()
+          | 'f' ->
+              Buffer.add_char buf '\012';
+              loop ()
+          | 'u' ->
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let hex = String.sub s !pos 4 in
+              pos := !pos + 4;
+              let code =
+                try int_of_string ("0x" ^ hex) with Failure _ -> fail "bad \\u escape"
+              in
+              (* Encode the BMP code point as UTF-8; surrogate pairs are
+                 out of scope for the exporter's own output. *)
+              if code < 0x80 then Buffer.add_char buf (Char.chr code)
+              else if code < 0x800 then begin
+                Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
+                Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+              end
+              else begin
+                Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
+                Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+                Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+              end;
+              loop ()
+          | _ -> fail "unknown escape")
+      | c -> (
+          Buffer.add_char buf c;
+          loop ())
+    in
+    loop ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_float = ref false in
+    if peek () = Some '-' then advance ();
+    let digits () =
+      let saw = ref false in
+      while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do
+        saw := true;
+        advance ()
+      done;
+      if not !saw then fail "expected digit"
+    in
+    digits ();
+    if peek () = Some '.' then begin
+      is_float := true;
+      advance ();
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+        is_float := true;
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ());
+    let text = String.sub s start (!pos - start) in
+    if !is_float then Float (float_of_string text)
+    else
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> Float (float_of_string text)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((k, v) :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          Obj (members [])
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elems (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          Arr (elems [])
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+  in
+  try
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then Error (Printf.sprintf "offset %d: trailing garbage" !pos)
+    else Ok v
+  with
+  | Parse_error (at, msg) -> Error (Printf.sprintf "offset %d: %s" at msg)
+  | Failure msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Accessors *)
+
+let member key = function Obj ms -> List.assoc_opt key ms | _ -> None
+let to_int = function Int n -> Some n | _ -> None
+let to_float = function Int n -> Some (float_of_int n) | Float f -> Some f | _ -> None
+let to_str = function Str s -> Some s | _ -> None
+let to_arr = function Arr xs -> Some xs | _ -> None

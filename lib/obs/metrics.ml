@@ -1,0 +1,108 @@
+type counter = { mutable count : int }
+type gauge = { mutable value : float }
+
+type entry = C of counter | G of gauge | H of Histogram.t
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histo of Histogram.t
+
+type t = { tbl : (string, entry) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+
+let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+let clash name entry want =
+  invalid_arg
+    (Printf.sprintf "Metrics: %S already registered as a %s, requested as a %s" name
+       (kind_name entry) want)
+
+let counter t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (C c) -> c
+  | Some e -> clash name e "counter"
+  | None ->
+      let c = { count = 0 } in
+      Hashtbl.replace t.tbl name (C c);
+      c
+
+let gauge t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (G g) -> g
+  | Some e -> clash name e "gauge"
+  | None ->
+      let g = { value = 0. } in
+      Hashtbl.replace t.tbl name (G g);
+      g
+
+let histogram t ?(bucket_width = 1) name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (H h) -> h
+  | Some e -> clash name e "histogram"
+  | None ->
+      let h = Histogram.create ~bucket_width () in
+      Hashtbl.replace t.tbl name (H h);
+      h
+
+let incr c = c.count <- c.count + 1
+let add c n = c.count <- c.count + n
+let counter_value c = c.count
+let set g v = g.value <- v
+let gauge_value g = g.value
+
+(* ------------------------------------------------------------------ *)
+(* Scoped registry *)
+
+let current : t option ref = ref None
+
+let with_registry t f =
+  let saved = !current in
+  current := Some t;
+  Fun.protect ~finally:(fun () -> current := saved) f
+
+let in_scope () = !current
+
+let bump_by name n = match !current with None -> () | Some m -> add (counter m name) n
+let bump name = bump_by name 1
+
+let observe ?bucket_width name v =
+  match !current with None -> () | Some m -> Histogram.add (histogram m ?bucket_width name) v
+
+let set_gauge name v = match !current with None -> () | Some m -> set (gauge m name) v
+
+(* ------------------------------------------------------------------ *)
+(* Scraping *)
+
+let snapshot t =
+  Hashtbl.fold
+    (fun name entry acc ->
+      let v =
+        match entry with C c -> Counter c.count | G g -> Gauge g.value | H h -> Histo h
+      in
+      (name, v) :: acc)
+    t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let histo_json h =
+  let pctl p = if Histogram.total h = 0 then 0 else Histogram.percentile h p in
+  Jsonx.Obj
+    [
+      ("count", Jsonx.Int (Histogram.total h));
+      ("p50", Jsonx.Int (pctl 0.5));
+      ("p90", Jsonx.Int (pctl 0.9));
+      ("p99", Jsonx.Int (pctl 0.99));
+      ("max", Jsonx.Int (Histogram.max_value h));
+    ]
+
+let to_json t =
+  Jsonx.Obj
+    (List.map
+       (fun (name, v) ->
+         ( name,
+           match v with
+           | Counter n -> Jsonx.Int n
+           | Gauge f -> Jsonx.Float f
+           | Histo h -> histo_json h ))
+       (snapshot t))

@@ -1,0 +1,29 @@
+let write_file path json =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Jsonx.to_string json);
+      output_char oc '\n')
+
+let with_obs ?trace ?metrics f =
+  match (trace, metrics) with
+  | None, None -> f ()
+  | _ ->
+      (* The registry is installed whenever either export is requested:
+         the trace is cheap to interpret next to the metrics it was
+         recorded with, and headline gauges (throughput, scan
+         percentiles) only exist when a registry is in scope. *)
+      let reg = Metrics.create () in
+      let tracer = match trace with Some _ -> Some (Trace.create ()) | None -> None in
+      let run () = Metrics.with_registry reg f in
+      let result =
+        match tracer with Some tr -> Trace.with_tracer tr run | None -> run ()
+      in
+      (match (trace, tracer) with
+      | Some path, Some tr -> write_file path (Trace.to_chrome_json tr)
+      | _ -> ());
+      (match metrics with
+      | Some path -> write_file path (Metrics.to_json reg)
+      | None -> ());
+      result

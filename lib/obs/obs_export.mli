@@ -1,0 +1,13 @@
+(** File export glue for the CLI binaries.
+
+    [with_obs ?trace ?metrics f] runs [f] with a fresh tracer and
+    metrics registry in scope and, on normal return, writes the Chrome
+    [trace_event] JSON to [trace] and the flat metrics JSON to
+    [metrics] (each a file path). With neither path given [f] runs
+    untouched — no scopes are installed, so the run is bit-identical
+    to an unobserved one. *)
+
+val with_obs : ?trace:string -> ?metrics:string -> (unit -> 'a) -> 'a
+
+val write_file : string -> Jsonx.t -> unit
+(** Write one JSON document plus a trailing newline. *)

@@ -1,0 +1,86 @@
+let default_metrics_required =
+  [ "txn.throughput"; "scan.p50"; "scan.p99"; "space.peak_bytes"; "prune.completeness" ]
+
+let is_number v = Jsonx.to_float v <> None
+
+let check_trace ?(min_tracks = 1) ?(require_span = true) json =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  (match Jsonx.member "traceEvents" json with
+  | None -> err "missing \"traceEvents\" member (expected the object form of trace_event JSON)"
+  | Some events -> (
+      match Jsonx.to_arr events with
+      | None -> err "\"traceEvents\" is not an array"
+      | Some events ->
+          let tids = Hashtbl.create 16 in
+          let spans = ref 0 in
+          List.iteri
+            (fun i ev ->
+              let field name = Jsonx.member name ev in
+              let str_field name =
+                match field name with
+                | Some v when Jsonx.to_str v <> None -> ()
+                | Some _ -> err "event %d: %S is not a string" i name
+                | None -> err "event %d: missing %S" i name
+              in
+              let int_field name =
+                match field name with
+                | Some v when Jsonx.to_int v <> None -> ()
+                | Some _ -> err "event %d: %S is not an integer" i name
+                | None -> err "event %d: missing %S" i name
+              in
+              str_field "name";
+              int_field "pid";
+              int_field "tid";
+              match Option.bind (field "ph") Jsonx.to_str with
+              | None -> err "event %d: missing or non-string \"ph\"" i
+              | Some ph -> (
+                  if ph <> "M" then begin
+                    (match field "ts" with
+                    | Some v when is_number v -> ()
+                    | Some _ -> err "event %d: \"ts\" is not a number" i
+                    | None -> err "event %d: missing \"ts\"" i);
+                    match Option.bind (field "tid") Jsonx.to_int with
+                    | Some tid -> Hashtbl.replace tids tid ()
+                    | None -> ()
+                  end;
+                  match ph with
+                  | "X" -> (
+                      incr spans;
+                      match field "dur" with
+                      | Some v when is_number v -> ()
+                      | Some _ -> err "event %d: \"dur\" is not a number" i
+                      | None -> err "event %d: span without \"dur\"" i)
+                  | "i" | "C" | "M" -> ()
+                  | other -> err "event %d: unknown phase %S" i other))
+            events;
+          let distinct = Hashtbl.length tids in
+          if distinct < min_tracks then
+            err "only %d distinct subsystem track(s), need at least %d" distinct min_tracks;
+          if require_span && !spans = 0 then err "no complete (\"X\") span events at all"));
+  List.rev !errors
+
+let check_metrics ?(required = default_metrics_required) json =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  (match json with
+  | Jsonx.Obj members ->
+      List.iter
+        (fun (name, v) ->
+          match v with
+          | Jsonx.Int _ | Jsonx.Float _ -> ()
+          | Jsonx.Obj _ ->
+              List.iter
+                (fun field ->
+                  match Option.bind (Jsonx.member field v) Jsonx.to_int with
+                  | Some _ -> ()
+                  | None -> err "metric %S: histogram summary missing integer %S" name field)
+                [ "count"; "p50"; "p90"; "p99"; "max" ]
+          | _ -> err "metric %S: value is neither number nor histogram summary" name)
+        members;
+      List.iter
+        (fun key ->
+          if not (List.mem_assoc key members) then err "missing required metric %S" key)
+        required
+  | _ -> err "metrics document is not an object");
+  List.rev !errors

@@ -1,0 +1,28 @@
+(** Structural validation of the two observability export formats.
+
+    This is the in-repo schema checker CI runs over [--trace] and
+    [--metrics] outputs ([bin/obs_check] is a thin CLI over it). Checks
+    are structural, not semantic: field presence, types, Chrome
+    [trace_event] phase grammar, and coverage floors (distinct
+    subsystem tracks, at least one complete span). Each function returns
+    human-readable violation descriptions; an empty list means the
+    document is valid. *)
+
+val check_trace : ?min_tracks:int -> ?require_span:bool -> Jsonx.t -> string list
+(** Validate a Chrome [trace_event] document (the object form with a
+    ["traceEvents"] array): every event must carry [name]/[ph]/[pid]/
+    [tid], non-metadata events a numeric [ts], ["X"] spans a numeric
+    [dur], and phases must be one of [X i C M]. [min_tracks] (default 1)
+    is the minimum number of distinct non-metadata [tid]s;
+    [require_span] (default true) demands at least one ["X"] event. *)
+
+val check_metrics : ?required:string list -> Jsonx.t -> string list
+(** Validate a flat metrics snapshot: a top-level object whose members
+    are ints (counters), floats (gauges) or histogram-summary objects
+    ([count/p50/p90/p99/max], all ints). [required] (default
+    {!default_metrics_required}) lists keys that must be present. *)
+
+val default_metrics_required : string list
+(** The per-run headline metrics every traced run must export:
+    [txn.throughput], [scan.p50], [scan.p99], [space.peak_bytes],
+    [prune.completeness]. *)

@@ -81,11 +81,18 @@ let run t ~until =
       let p = pop t in
       t.now <- max t.now p.at;
       (match t.probe with Some f -> f ~name:p.name ~now:p.at | None -> ());
+      Metrics.bump "scheduler.dispatches";
       (match p.step p.at with
-      | Finished -> ()
+      | Finished ->
+          if Trace.on () then Trace.span Trace.Scheduler p.name ~start:p.at ~dur:0 []
       | Sleep_until next ->
           (* Enforce progress: a process may not reschedule in its past. *)
-          p.at <- (if next > p.at then next else p.at + 1);
+          let next = if next > p.at then next else p.at + 1 in
+          (* The dispatch span runs from the wake-up to the next wake-up
+             the process asked for: in this discrete-event model a
+             process is "busy" exactly until it would next act. *)
+          if Trace.on () then Trace.span Trace.Scheduler p.name ~start:p.at ~dur:(next - p.at) [];
+          p.at <- next;
           push t p);
       loop ()
     end

@@ -85,7 +85,7 @@ let split_page t page =
     page.Page.records <- keep;
     Page.remove_bytes page !moved_bytes;
     Page.add_bytes fresh !moved_bytes;
-    Wal.append t.wal ~bytes:!moved_bytes;
+    Wal.append t.wal ~bytes:!moved_bytes ();
     t.splits <- t.splits + 1;
     true
   end

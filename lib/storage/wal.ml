@@ -2,13 +2,29 @@ type t = { mutable total : int; mutable records : int; mutable errors : int }
 
 let create () = { total = 0; records = 0; errors = 0 }
 
-let append t ~bytes =
+let append t ?at ~bytes () =
   if bytes < 0 then invalid_arg "Wal.append: negative size";
   match Failpoint.check "wal.append" with
-  | `Fail -> t.errors <- t.errors + 1
+  | `Fail ->
+      t.errors <- t.errors + 1;
+      Metrics.bump "wal.errors";
+      if Trace.on () then begin
+        match at with
+        | Some at -> Trace.instant Trace.Wal "append-error" ~at [ ("bytes", Trace.I bytes) ]
+        | None -> ()
+      end
   | `Pass ->
       t.total <- t.total + bytes;
-      t.records <- t.records + 1
+      t.records <- t.records + 1;
+      Metrics.bump "wal.appends";
+      Metrics.bump_by "wal.bytes" bytes;
+      if Trace.on () then begin
+        match at with
+        | Some at ->
+            Trace.instant Trace.Wal "append" ~at
+              [ ("bytes", Trace.I bytes); ("total", Trace.I t.total) ]
+        | None -> ()
+      end
 
 let total_bytes t = t.total
 let records t = t.records

@@ -11,8 +11,11 @@ type t
 
 val create : unit -> t
 
-val append : t -> bytes:int -> unit
-(** Append a record, unless the ["wal.append"] fail-point fires. *)
+val append : t -> ?at:int -> bytes:int -> unit -> unit
+(** Append a record, unless the ["wal.append"] fail-point fires. [at]
+    is the simulated time in ns; when given, the append (or its
+    injected failure) is also recorded on the WAL trace track and in
+    the metrics registry in scope. *)
 
 val total_bytes : t -> int
 val records : t -> int

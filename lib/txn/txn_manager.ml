@@ -41,6 +41,7 @@ let begin_txn t ~now =
   in
   Hashtbl.replace t.live tid txn;
   t.started <- t.started + 1;
+  Metrics.bump "txn.begins";
   txn
 
 let note_duration t dur =
@@ -59,7 +60,9 @@ let commit t (txn : Txn.t) ~now =
   txn.commit_ts <- Some commit_ts;
   Commit_log.record t.log ~tid:txn.tid (Commit_log.Committed_at commit_ts);
   note_duration t (Txn.age txn ~now);
-  t.committed <- t.committed + 1
+  t.committed <- t.committed + 1;
+  Metrics.bump "txn.commits";
+  Metrics.observe ~bucket_width:100 "txn.duration_us" (Txn.age txn ~now / 1_000)
 
 let abort t (txn : Txn.t) ~now =
   finish t txn;
@@ -67,7 +70,9 @@ let abort t (txn : Txn.t) ~now =
   txn.state <- Txn.Aborted;
   Commit_log.record t.log ~tid:txn.tid (Commit_log.Aborted_at ts);
   ignore now;
-  t.aborted <- t.aborted + 1
+  t.aborted <- t.aborted + 1;
+  Metrics.bump "txn.aborts"
+
 
 let commit_log t = t.log
 let live_count t = Hashtbl.length t.live

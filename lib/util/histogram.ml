@@ -31,8 +31,13 @@ let add t v = add_many t v ~count:1
 let total t = t.total
 let max_value t = t.max_value
 
-(* Bucket [i] is reported at its inclusive upper bound. *)
-let bucket_repr t i = ((i + 1) * t.bucket_width) - 1
+(* Bucket [i] is reported at its inclusive upper bound, clamped to the
+   largest observation actually seen: with [bucket_width > 1] the raw
+   upper bound of the topmost occupied bucket can exceed every recorded
+   value (a histogram holding only [3] at width 10 would otherwise
+   report 9 from [percentile]/[cdf] — silent precision loss at the
+   tail). Buckets below the top are unaffected. *)
+let bucket_repr t i = min (((i + 1) * t.bucket_width) - 1) t.max_value
 
 let count_le t v =
   let acc = ref 0 in
@@ -58,6 +63,25 @@ let cdf t =
       t.counts;
     List.rev !out
   end
+
+let merge a b =
+  if a.bucket_width <> b.bucket_width then
+    invalid_arg "Histogram.merge: bucket_width mismatch";
+  let t = create ~bucket_width:a.bucket_width () in
+  let blend src =
+    Array.iteri
+      (fun i c ->
+        if c > 0 then begin
+          ensure t i;
+          t.counts.(i) <- t.counts.(i) + c
+        end)
+      src.counts;
+    t.total <- t.total + src.total;
+    if src.max_value > t.max_value then t.max_value <- src.max_value
+  in
+  blend a;
+  blend b;
+  t
 
 let percentile t p =
   if t.total = 0 then invalid_arg "Histogram.percentile: empty histogram";

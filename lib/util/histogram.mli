@@ -6,7 +6,10 @@ type t
 
 val create : ?bucket_width:int -> unit -> t
 (** [create ~bucket_width ()] — values [v] are counted in bucket
-    [v / bucket_width]. Default width 1. *)
+    [v / bucket_width]. Default width 1. Buckets are reported at their
+    inclusive upper bound, clamped to {!max_value}: {!percentile},
+    {!cdf} and {!count_le} never answer with a value larger than any
+    observation actually recorded. *)
 
 val add : t -> int -> unit
 (** Record one observation. Negative values raise [Invalid_argument]. *)
@@ -30,3 +33,9 @@ val percentile : t -> float -> int
 (** [percentile t 0.99] is the smallest bucket representative covering at
     least that fraction of observations. Raises if the histogram is
     empty or the fraction is outside [0, 1]. *)
+
+val merge : t -> t -> t
+(** Fresh histogram holding both operands' observations. The operands
+    are unchanged and must share a [bucket_width]
+    ([Invalid_argument] otherwise). *)
+

@@ -13,19 +13,35 @@ let stddev xs =
       in
       sqrt var
 
-let percentile xs p =
-  if xs = [] then invalid_arg "Stats.percentile: empty sample";
-  if p < 0. || p > 1. then invalid_arg "Stats.percentile: fraction out of range";
-  let a = Array.of_list xs in
-  Array.sort compare a;
+(* Nearest-rank percentile over a sorted array. [Float.compare] gives a
+   total order (NaNs sort first), unlike polymorphic [compare] whose
+   use on floats is both slower and NaN-hostile. *)
+let rank_in a p =
   let n = Array.length a in
   let rank = int_of_float (ceil (p *. float_of_int n)) in
   a.(max 0 (min (n - 1) (rank - 1)))
 
+let check_fraction who p =
+  if p < 0. || p > 1. then invalid_arg (who ^ ": fraction out of range")
+
+let percentile xs p =
+  if xs = [] then invalid_arg "Stats.percentile: empty sample";
+  check_fraction "Stats.percentile" p;
+  let a = Array.of_list xs in
+  Array.sort Float.compare a;
+  rank_in a p
+
+let percentiles xs ps =
+  if xs = [] then invalid_arg "Stats.percentiles: empty sample";
+  List.iter (check_fraction "Stats.percentiles") ps;
+  let a = Array.of_list xs in
+  Array.sort Float.compare a;
+  List.map (rank_in a) ps
+
 let minimum = function
   | [] -> invalid_arg "Stats.minimum: empty sample"
-  | x :: xs -> List.fold_left min x xs
+  | x :: xs -> List.fold_left (fun acc y -> if Float.compare y acc < 0 then y else acc) x xs
 
 let maximum = function
   | [] -> invalid_arg "Stats.maximum: empty sample"
-  | x :: xs -> List.fold_left max x xs
+  | x :: xs -> List.fold_left (fun acc y -> if Float.compare y acc > 0 then y else acc) x xs

@@ -1,4 +1,9 @@
-(** Small descriptive-statistics helpers for float samples. *)
+(** Small descriptive-statistics helpers for float samples.
+
+    Ordering everywhere uses [Float.compare] — a total order in which
+    NaNs sort first — never polymorphic [compare], so a stray NaN in a
+    sample gives a deterministic (if garbage-in) answer instead of an
+    ordering that depends on element positions. *)
 
 val mean : float list -> float
 (** Arithmetic mean; 0. for the empty list. *)
@@ -10,6 +15,12 @@ val percentile : float list -> float -> float
 (** [percentile xs p] with [p] in [0,1], nearest-rank on the sorted
     sample. Raises [Invalid_argument] on an empty list or out-of-range
     [p]. *)
+
+val percentiles : float list -> float list -> float list
+(** [percentiles xs ps] — one nearest-rank value per fraction in [ps],
+    in order, sorting the sample {e once} (use this instead of repeated
+    {!percentile} calls when scraping p50/p90/p99 of the same sample).
+    Raises like {!percentile}. *)
 
 val minimum : float list -> float
 val maximum : float list -> float

@@ -92,6 +92,8 @@ let run ~engine ?faults (cfg : Exp_config.t) =
           pending := None;
           killed := true;
           Hashtbl.remove shed_tbl txn.Txn.tid;
+          if Trace.on () then
+            Trace.instant Trace.Txn "killed" ~at:now [ ("tid", Trace.I txn.Txn.tid) ];
           ignore (eng.Engine.abort txn ~now);
           true
       | None -> false
@@ -111,11 +113,16 @@ let run ~engine ?faults (cfg : Exp_config.t) =
               match Backoff.next backoff with
               | Some delay ->
                   incr retries;
+                  Metrics.bump "runner.retries";
+                  if Trace.on () then
+                    Trace.instant Trace.Txn "retry" ~at:now [ ("delay_ns", Trace.I delay) ];
                   Scheduler.Sleep_until (now + delay)
               | None ->
                   (* Attempt budget exhausted: give the intent up and
                      move on to fresh work. *)
                   incr give_ups;
+                  Metrics.bump "runner.give_ups";
+                  if Trace.on () then Trace.instant Trace.Txn "give-up" ~at:now [];
                   Backoff.reset backoff;
                   if now >= horizon then Scheduler.Finished else begin_txn now
             end
@@ -143,10 +150,19 @@ let run ~engine ?faults (cfg : Exp_config.t) =
                t := eng.Engine.commit txn ~now:!t;
                Backoff.reset backoff;
                Series.Rate.incr commit_rate ~time:(Clock.to_seconds !t);
-               Histogram.add latency_us ((!t - txn.Txn.begin_time) / 1_000)
+               Histogram.add latency_us ((!t - txn.Txn.begin_time) / 1_000);
+               if Trace.on () then
+                 Trace.span Trace.Txn "txn" ~start:txn.Txn.begin_time
+                   ~dur:(!t - txn.Txn.begin_time)
+                   [ ("tid", Trace.I txn.Txn.tid); ("worker", Trace.I i) ]
              with Exit ->
                incr conflicts;
-               t := eng.Engine.abort txn ~now:!t);
+               Metrics.bump "runner.conflicts";
+               t := eng.Engine.abort txn ~now:!t;
+               if Trace.on () then
+                 Trace.span Trace.Txn "txn-conflict" ~start:txn.Txn.begin_time
+                   ~dur:(!t - txn.Txn.begin_time)
+                   [ ("tid", Trace.I txn.Txn.tid); ("worker", Trace.I i) ]);
             Scheduler.Sleep_until !t)
   in
   for i = 0 to cfg.Exp_config.workers - 1 do
@@ -168,6 +184,8 @@ let run ~engine ?faults (cfg : Exp_config.t) =
               state := None;
               killed := true;
               Hashtbl.remove shed_tbl txn.Txn.tid;
+              if Trace.on () then
+                Trace.instant Trace.Txn "llt-killed" ~at:now [ ("tid", Trace.I txn.Txn.tid) ];
               ignore (eng.Engine.abort txn ~now);
               true
           | None -> false
@@ -189,9 +207,15 @@ let run ~engine ?faults (cfg : Exp_config.t) =
                   match Backoff.next backoff with
                   | Some delay ->
                       incr retries;
+                      Metrics.bump "runner.retries";
+                      if Trace.on () then
+                        Trace.instant Trace.Txn "llt-retry" ~at:now
+                          [ ("delay_ns", Trace.I delay) ];
                       Scheduler.Sleep_until (now + delay)
                   | None ->
                       incr give_ups;
+                      Metrics.bump "runner.give_ups";
+                      if Trace.on () then Trace.instant Trace.Txn "llt-give-up" ~at:now [];
                       Scheduler.Finished
                 end
                 else begin
@@ -205,6 +229,10 @@ let run ~engine ?faults (cfg : Exp_config.t) =
                   state := None;
                   Hashtbl.remove shed_tbl txn.Txn.tid;
                   let _ = eng.Engine.commit txn ~now in
+                  if Trace.on () then
+                    Trace.span Trace.Txn "llt" ~start:txn.Txn.begin_time
+                      ~dur:(now - txn.Txn.begin_time)
+                      [ ("tid", Trace.I txn.Txn.tid); ("group", Trace.I gi) ];
                   Scheduler.Finished
                 end
                 else begin
@@ -275,6 +303,8 @@ let run ~engine ?faults (cfg : Exp_config.t) =
       let victim_rng = Rng.create (Fault_plan.seed plan lxor 0x7fabc0de) in
       let apply action ~now =
         Fault_report.note_fault report (Fault_plan.action_name action);
+        if Trace.on () then
+          Trace.instant Trace.Fault (Fault_plan.action_name action) ~at:now [];
         match action with
         | Fault_plan.Abort_txn ->
             let n = Vec.length abort_slots in
@@ -357,6 +387,41 @@ let run ~engine ?faults (cfg : Exp_config.t) =
   Fault_report.set_gauge report "retries" !retries;
   Fault_report.set_gauge report "give-ups" !give_ups;
   Fault_report.set_gauge report "sheds" sheds;
+  (* Headline gauges for the metrics snapshot (the BENCH_obs / golden
+     surface): every traced run exports these whether or not the hot
+     paths fed their histograms, so the schema's required keys are
+     always present. *)
+  (match Metrics.in_scope () with
+  | None -> ()
+  | Some reg ->
+      let commits = Series.Rate.total commit_rate in
+      Metrics.set_gauge "txn.throughput"
+        (if cfg.Exp_config.duration_s > 0. then
+           float_of_int commits /. cfg.Exp_config.duration_s
+         else 0.);
+      let scan = Metrics.histogram reg "scan.chain_length" in
+      let scan_pctl p = if Histogram.total scan = 0 then 0 else Histogram.percentile scan p in
+      Metrics.set_gauge "scan.p50" (float_of_int (scan_pctl 0.5));
+      Metrics.set_gauge "scan.p99" (float_of_int (scan_pctl 0.99));
+      let peak =
+        List.fold_left (fun acc (_, v) -> max acc v) 0.
+          (Series.to_list space_series)
+      in
+      Metrics.set_gauge "space.peak_bytes" peak;
+      Metrics.set_gauge "space.final_bytes" (float_of_int final.Engine.version_bytes);
+      let lat_pctl p =
+        if Histogram.total latency_us = 0 then 0 else Histogram.percentile latency_us p
+      in
+      Metrics.set_gauge "txn.latency_p50_us" (float_of_int (lat_pctl 0.5));
+      Metrics.set_gauge "txn.latency_p99_us" (float_of_int (lat_pctl 0.99));
+      Metrics.set_gauge "prune.completeness"
+        (match eng.Engine.driver with
+        | Some d ->
+            let s = Driver.stats d in
+            let pruned = Prune_stats.prune1_total s + Prune_stats.prune2_total s in
+            let settled = pruned + Prune_stats.stored_total s in
+            if settled = 0 then 1. else float_of_int pruned /. float_of_int settled
+        | None -> 0.));
   let cdf = Histogram.cdf (eng.Engine.chain_histogram ()) in
   {
     engine_name = eng.Engine.name;

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Regenerate the committed golden metrics snapshot CI diffs traced smoke
+# runs against (test/golden/obs_metrics.json).
+#
+# The exporter is deterministic — sim-clock timestamps, canonical JSON,
+# fixed seed — so the golden is byte-exact on every machine. Run this
+# after a change that legitimately moves the numbers (new metric sites,
+# cost-model or scheduling changes), eyeball the diff, and commit it
+# together with the change that caused it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dune build bin/vdriver_sim.exe bin/obs_check.exe
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# Keep in sync with the "Observability smoke" step in .github/workflows/ci.yml.
+./_build/default/bin/vdriver_sim.exe run -e pg-vdriver -d 2 --llts 2 --seed 42 \
+  --metrics "$tmp/metrics.json" >/dev/null
+./_build/default/bin/obs_check.exe --metrics "$tmp/metrics.json"
+
+if [ -f test/golden/obs_metrics.json ] && diff -q test/golden/obs_metrics.json "$tmp/metrics.json" >/dev/null; then
+  echo "golden unchanged"
+else
+  cp "$tmp/metrics.json" test/golden/obs_metrics.json
+  echo "updated test/golden/obs_metrics.json — review and commit:"
+  git diff --stat -- test/golden/obs_metrics.json || true
+fi

@@ -210,9 +210,9 @@ let test_wal_failpoint_counts_errors () =
   Failpoint.with_scope @@ fun () ->
   let wal = Wal.create () in
   Failpoint.arm_fail_n "wal.append" 2;
-  Wal.append wal ~bytes:10;
-  Wal.append wal ~bytes:10;
-  Wal.append wal ~bytes:10;
+  Wal.append wal ~bytes:10 ();
+  Wal.append wal ~bytes:10 ();
+  Wal.append wal ~bytes:10 ();
   check_int "two rejected" 2 (Wal.errors wal);
   check_int "one durable" 10 (Wal.total_bytes wal)
 

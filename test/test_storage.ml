@@ -133,8 +133,8 @@ let test_buffer_pool () =
 
 let test_wal () =
   let w = Wal.create () in
-  Wal.append w ~bytes:100;
-  Wal.append w ~bytes:50;
+  Wal.append w ~bytes:100 ();
+  Wal.append w ~bytes:50 ();
   check_int "bytes" 150 (Wal.total_bytes w);
   check_int "records" 2 (Wal.records w)
 

@@ -176,6 +176,51 @@ let test_histogram_add_many () =
   check_int "bulk total" 7 (Histogram.total h);
   check_int "bulk le" 7 (Histogram.count_le h 3)
 
+let test_histogram_tail_clamp () =
+  (* Wide buckets must not report a tail beyond the largest recorded
+     observation: one value 3 at width 10 lives in bucket [0,9] but
+     every percentile answers 3, not the raw bucket bound 9. *)
+  let h = Histogram.create ~bucket_width:10 () in
+  Histogram.add h 3;
+  check_int "p100 clamped" 3 (Histogram.percentile h 1.0);
+  check_bool "cdf clamped" true (Histogram.cdf h = [ (3, 1.0) ]);
+  Histogram.add h 25;
+  check_int "top bucket clamped to max" 25 (Histogram.percentile h 1.0);
+  (* The non-top bucket keeps its full upper bound. *)
+  check_int "lower bucket repr" 9 (Histogram.percentile h 0.5)
+
+let test_histogram_merge () =
+  let a = Histogram.create ~bucket_width:5 () in
+  let b = Histogram.create ~bucket_width:5 () in
+  List.iter (Histogram.add a) [ 1; 2; 12 ];
+  List.iter (Histogram.add b) [ 3; 22 ];
+  let m = Histogram.merge a b in
+  check_int "merged total" 5 (Histogram.total m);
+  check_int "merged max" 22 (Histogram.max_value m);
+  check_int "merged le 4" 3 (Histogram.count_le m 4);
+  check_int "merged p100" 22 (Histogram.percentile m 1.0);
+  (* Operands are untouched. *)
+  check_int "a intact" 3 (Histogram.total a);
+  check_int "b intact" 2 (Histogram.total b);
+  Alcotest.check_raises "width mismatch"
+    (Invalid_argument "Histogram.merge: bucket_width mismatch") (fun () ->
+      ignore (Histogram.merge a (Histogram.create ())))
+
+let qcheck_histogram_merge_totals =
+  QCheck.Test.make ~name:"histogram merge behaves like concatenation" ~count:200
+    QCheck.(pair (list (int_bound 100)) (list (int_bound 100)))
+    (fun (xs, ys) ->
+      let a = Histogram.create ~bucket_width:3 () in
+      let b = Histogram.create ~bucket_width:3 () in
+      List.iter (Histogram.add a) xs;
+      List.iter (Histogram.add b) ys;
+      let m = Histogram.merge a b in
+      let c = Histogram.create ~bucket_width:3 () in
+      List.iter (Histogram.add c) (xs @ ys);
+      Histogram.total m = Histogram.total c
+      && Histogram.max_value m = Histogram.max_value c
+      && Histogram.cdf m = Histogram.cdf c)
+
 (* -------------------------------------------------------------------- *)
 (* Stats *)
 
@@ -197,6 +242,36 @@ let test_stats_percentile () =
 let test_stats_min_max () =
   check_bool "min" true (feq (Stats.minimum [ 3.; 1.; 2. ]) 1.);
   check_bool "max" true (feq (Stats.maximum [ 3.; 1.; 2. ]) 3.)
+
+let test_stats_percentiles_batch () =
+  let xs = [ 5.; 1.; 4.; 2.; 3. ] in
+  (match Stats.percentiles xs [ 0.5; 1.0; 0.0 ] with
+  | [ p50; p100; p0 ] ->
+      check_bool "p50" true (feq p50 3.);
+      check_bool "p100" true (feq p100 5.);
+      check_bool "p0" true (feq p0 1.)
+  | other -> Alcotest.failf "expected 3 results, got %d" (List.length other));
+  check_bool "empty fractions" true (Stats.percentiles xs [] = []);
+  (* Batch answers must agree with one-at-a-time answers. *)
+  List.iter
+    (fun p ->
+      check_bool "agrees with percentile" true
+        (feq (Stats.percentile xs p) (List.hd (Stats.percentiles xs [ p ]))))
+    [ 0.0; 0.25; 0.5; 0.9; 1.0 ]
+
+let test_stats_nan_safe () =
+  (* Float.compare sorts NaNs first: a poisoned sample yields the NaN
+     at p0 but leaves every real rank deterministic — crucially the
+     result never depends on the input order (polymorphic compare on
+     NaN is order-dependent). *)
+  let a = [ Float.nan; 2.; 1.; 3. ] and b = [ 3.; 1.; 2.; Float.nan ] in
+  check_bool "NaN sorts first" true (Float.is_nan (Stats.percentile a 0.0));
+  check_bool "real ranks unaffected" true (feq (Stats.percentile a 1.0) 3.);
+  check_bool "order-independent p50" true
+    (feq (Stats.percentile a 0.5) (Stats.percentile b 0.5));
+  check_bool "order-independent min" true
+    (Float.compare (Stats.minimum a) (Stats.minimum b) = 0);
+  check_bool "max ignores position" true (feq (Stats.maximum b) 3.)
 
 (* -------------------------------------------------------------------- *)
 (* Series *)
@@ -320,13 +395,18 @@ let suites =
         Alcotest.test_case "bucket widths" `Quick test_histogram_buckets;
         Alcotest.test_case "empty" `Quick test_histogram_empty;
         Alcotest.test_case "add_many" `Quick test_histogram_add_many;
+        Alcotest.test_case "tail clamp" `Quick test_histogram_tail_clamp;
+        Alcotest.test_case "merge" `Quick test_histogram_merge;
         QCheck_alcotest.to_alcotest qcheck_histogram_percentile_monotone;
+        QCheck_alcotest.to_alcotest qcheck_histogram_merge_totals;
       ] );
     ( "util.stats",
       [
         Alcotest.test_case "mean" `Quick test_stats_mean;
         Alcotest.test_case "stddev" `Quick test_stats_stddev;
         Alcotest.test_case "percentile" `Quick test_stats_percentile;
+        Alcotest.test_case "percentiles batch" `Quick test_stats_percentiles_batch;
+        Alcotest.test_case "NaN safety" `Quick test_stats_nan_safe;
         Alcotest.test_case "min/max" `Quick test_stats_min_max;
       ] );
     ( "util.series",
