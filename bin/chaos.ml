@@ -20,7 +20,18 @@
    the overload twin of `--sabotage`. `--require-shed` makes a clean
    exit additionally require at least one campaign that reached the
    Shedding rung and recovered to Normal (CI uses it to prove the
-   overload scenario actually exercises the whole ladder). *)
+   overload scenario actually exercises the whole ladder).
+
+   `--crash-points N` switches the engine to the durable typed-record
+   WAL and schedules N deterministic power losses per campaign by WAL
+   position (seeded LSN gaps), each with a fabricated torn tail; the
+   engine restarts by ARIES-lite replay and the post-recovery
+   invariants compare it against the honest log oracle. Poisson
+   crashes from the random plan take the same restart path.
+   `--skip-tail-check` is the recovery sabotage: restart replays the
+   log tail without CRC verification, so a torn tail gets replayed as
+   if durable — the post-recovery invariants must catch the divergence
+   (a clean exit is a harness bug). *)
 
 open Cmdliner
 
@@ -52,22 +63,31 @@ let campaign_config ~seed ~duration =
   }
 
 let run_campaigns (ename, engine) seed campaigns duration sabotage quota quota_sabotage
-    require_shed trace_out metrics_out =
+    require_shed crash_points ckpt_ms skip_tail_check trace_out metrics_out =
   let governor =
     if quota <= 0 then Governor.default_config
     else { (Governor.governed ~quota_bytes:quota) with Governor.quota_ignore_sabotage = quota_sabotage }
   in
+  let durable = crash_points > 0 || skip_tail_check in
   let driver_config =
-    { State.default_config with State.zone_widen_sabotage = sabotage; governor }
+    {
+      State.default_config with
+      State.zone_widen_sabotage = sabotage;
+      governor;
+      durable_wal = durable;
+      recovery_skip_tail_check = skip_tail_check;
+    }
   in
   let campaign_seeds =
     (* Derive one independent seed per campaign from the base seed. *)
     let rng = Rng.create seed in
     List.init campaigns (fun _ -> Int64.to_int (Rng.next_int64 rng) land 0x3fffffff)
   in
-  Printf.printf "chaos: engine=%s seed=%d campaigns=%d duration=%.1fs sabotage=%d quota=%d%s\n"
+  Printf.printf "chaos: engine=%s seed=%d campaigns=%d duration=%.1fs sabotage=%d quota=%d%s%s%s\n"
     ename seed campaigns duration sabotage quota
-    (if quota_sabotage then " quota-sabotage" else "");
+    (if quota_sabotage then " quota-sabotage" else "")
+    (if crash_points > 0 then Printf.sprintf " crash-points=%d" crash_points else "")
+    (if skip_tail_check then " skip-tail-check" else "");
   let total_violations = ref 0 in
   let shed_recoveries = ref 0 in
   let horizon = Clock.seconds duration in
@@ -78,13 +98,44 @@ let run_campaigns (ename, engine) seed campaigns duration sabotage quota quota_s
   Obs_export.with_obs ?trace:trace_out ?metrics:metrics_out (fun () ->
   List.iteri
     (fun i campaign_seed ->
-      let plan = Fault_plan.random ~seed:campaign_seed in
-      let cfg = campaign_config ~seed:campaign_seed ~duration in
+      (* Crash points by WAL position: a seeded schedule with gaps wide
+         enough to let relocations, hardens and cuts land between
+         crashes, tight enough that several crashes interrupt them
+         mid-flight. Points below the bootstrap checkpoint are
+         meaningless; start past it. *)
+      let points =
+        if (not durable) || crash_points <= 0 then []
+        else begin
+          let rng = Rng.create (campaign_seed lxor 0x632d7074) in
+          let lsn = ref Wal.bootstrap_lsn in
+          List.init crash_points (fun _ ->
+              lsn := !lsn + 200 + Rng.int rng 2801;
+              !lsn)
+        end
+      in
+      let plan =
+        Fault_plan.random ~crash_points:points ~torn_tail:(points <> [])
+          ~seed:campaign_seed ()
+      in
+      let cfg =
+        { (campaign_config ~seed:campaign_seed ~duration) with
+          Exp_config.ckpt_period_s = float_of_int ckpt_ms /. 1000. }
+      in
       let r = Runner.run ~engine:(engine driver_config) ~faults:plan cfg in
       total_violations := !total_violations + Fault_report.violation_count r.Runner.faults;
       Format.printf "@[<v>campaign %d seed=%d plan: %a@ commits=%d conflicts=%d@ %a@]@." i
         campaign_seed Fault_plan.pp plan r.Runner.commits r.Runner.conflicts Fault_report.pp
         r.Runner.faults;
+      if r.Runner.crashes > 0 then begin
+        let sum f = List.fold_left (fun acc i -> acc + f i) 0 r.Runner.recoveries in
+        Format.printf
+          "campaign %d recovery: crashes=%d replayed=%d versions=%d truncated=%d losers=%d@."
+          i r.Runner.crashes
+          (sum (fun (x : Engine.restart_info) -> x.Engine.replayed_records))
+          (sum (fun (x : Engine.restart_info) -> x.Engine.replayed_versions))
+          (sum (fun (x : Engine.restart_info) -> x.Engine.truncated_frames))
+          (sum (fun (x : Engine.restart_info) -> x.Engine.losers_rolled_back))
+      end;
       match r.Runner.driver with
       | Some d when quota > 0 ->
           let g = Driver.governor d in
@@ -156,6 +207,32 @@ let cmd =
             "Fail unless at least one campaign climbed the ladder to Shedding and recovered \
              to Normal by the end of the run.")
   in
+  let crash_points =
+    Arg.(
+      value & opt int 0
+      & info [ "crash-points" ] ~docv:"N"
+          ~doc:
+            "Switch the engine to the durable typed-record WAL and schedule N deterministic \
+             power losses per campaign by WAL position, each with a fabricated torn tail; \
+             recovery replays the surviving log and the post-recovery invariants must hold \
+             (0 = no crash points, non-durable engine unless --skip-tail-check).")
+  in
+  let ckpt_ms =
+    Arg.(
+      value & opt int 250
+      & info [ "ckpt-ms" ] ~docv:"MS"
+          ~doc:"Fuzzy-checkpoint period for durable campaigns, in simulated milliseconds.")
+  in
+  let skip_tail_check =
+    Arg.(
+      value & flag
+      & info [ "skip-tail-check" ]
+          ~doc:
+            "Recovery sabotage: restart replays the WAL tail without CRC verification, so \
+             fabricated torn tails get replayed as durable — the post-recovery invariants \
+             must catch the divergence (a clean exit is a harness bug). Implies the durable \
+             WAL.")
+  in
   let trace_out =
     Arg.(
       value
@@ -176,6 +253,7 @@ let cmd =
     (Cmd.info "chaos" ~doc:"Seeded fault-injection campaigns with online invariant checking.")
     Term.(
       const run_campaigns $ engine $ seed $ campaigns $ duration $ sabotage $ quota
-      $ quota_sabotage $ require_shed $ trace_out $ metrics_out)
+      $ quota_sabotage $ require_shed $ crash_points $ ckpt_ms $ skip_tail_check
+      $ trace_out $ metrics_out)
 
 let () = exit (Cmd.eval cmd)

@@ -8,6 +8,8 @@ type config = {
   pruning : [ `Dead_zones | `Oldest_active ];
   zone_widen_sabotage : int;
   governor : Governor.config;
+  durable_wal : bool;
+  recovery_skip_tail_check : bool;
 }
 
 let default_config =
@@ -21,6 +23,8 @@ let default_config =
     pruning = `Dead_zones;
     zone_widen_sabotage = 0;
     governor = Governor.default_config;
+    durable_wal = false;
+    recovery_skip_tail_check = false;
   }
 
 type prune_origin = [ `Prune1 | `Prune2 | `Cut ]
@@ -47,6 +51,8 @@ type t = {
   governor : Governor.t;
   mutable shed_hook : (tid:Timestamp.t -> now:Clock.time -> bool) option;
   mutable post_maintain_space : (Clock.time * int) option;
+  mutable wal : Wal.t option;
+  mutable inrow_probe : (unit -> (int * int * Timestamp.t) list) option;
 }
 
 let create ?(config = default_config) txns =
@@ -72,6 +78,8 @@ let create ?(config = default_config) txns =
     governor = Governor.create ~config:config.governor ();
     shed_hook = None;
     post_maintain_space = None;
+    wal = None;
+    inrow_probe = None;
   }
 
 (* The pruning policy, shared by vSorter (per-version and per-sealed-
@@ -119,6 +127,11 @@ let fresh_segment t ~cls ~now =
   Hashtbl.replace t.seg_index seg.Segment.id seg;
   t.next_seg_id <- t.next_seg_id + 1;
   seg
+
+let log_wal t ~now payload =
+  match t.wal with
+  | Some wal when Wal.is_durable wal -> ignore (Wal.log wal ~at:now payload)
+  | Some _ | None -> ()
 
 let drop_segment t seg = Hashtbl.remove t.seg_index seg.Segment.id
 let find_segment t id = Hashtbl.find_opt t.seg_index id

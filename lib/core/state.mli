@@ -27,6 +27,16 @@ type config = {
   governor : Governor.config;
       (** version-space overload protection (quota, ladder thresholds,
           snapshot-too-old policy); disabled by default *)
+  durable_wal : bool;
+      (** switch the engine's WAL to typed-record durable mode and log
+          every pipeline event (relocations, hardens, drops, cuts,
+          checkpoints) so a crash can be recovered by replay. Off by
+          default — non-durable runs stay bit-identical to the seed. *)
+  recovery_skip_tail_check : bool;
+      (** sabotage knob: make restart recovery replay the log tail
+          without CRC verification. A torn or corrupt tail then gets
+          replayed as if durable — the post-recovery invariants must
+          catch the divergence. Never enable outside the harness. *)
 }
 
 val default_config : config
@@ -70,6 +80,15 @@ type t = {
       (** time and {!space_bytes} reading at the end of the most recent
           governed maintenance pass — the checkpoint the space-quota
           invariant audits. Cleared by a crash-restart. *)
+  mutable wal : Wal.t option;
+      (** the engine's log, installed when [durable_wal] is set so the
+          pipeline stages ({!Vsorter}, {!Vcutter}) can write their
+          typed records and the invariant checker can rescan them. *)
+  mutable inrow_probe : (unit -> (int * int * Timestamp.t) list) option;
+      (** installed by the engine: snapshot of the current in-row image
+          as [(rid, payload, vs)], sorted by rid — what the
+          post-recovery durability invariant compares against the log
+          oracle without the fault library depending on the engines. *)
 }
 
 val create : ?config:config -> Txn_manager.t -> t
@@ -89,6 +108,11 @@ val refresh_zones : t -> now:Clock.time -> unit
 
 val maybe_refresh : t -> now:Clock.time -> unit
 (** Refresh if [zone_refresh_period] has elapsed. *)
+
+val log_wal : t -> now:Clock.time -> Wal_record.payload -> unit
+(** Append a typed record to the installed WAL, if durable. Dropped
+    appends (fail-point) are already counted conservatively by
+    {!Wal.log}; pipeline callers fire and forget. *)
 
 val fresh_segment : t -> cls:Vclass.t -> now:Clock.time -> Segment.t
 (** Allocate and index a new filling segment. *)

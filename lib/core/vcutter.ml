@@ -35,6 +35,7 @@ let cut_segment (st : State.t) seg ~now =
   Version_store.cut st.State.store seg ~now;
   Buffer_pool.evict st.State.store_cache ~block:seg.Segment.id;
   State.drop_segment st seg;
+  State.log_wal st ~now (Wal_record.Seg_cut { seg_id = seg.Segment.id });
   if Trace.on () then
     Trace.instant Trace.Vcutter "cut-segment" ~at:now
       [

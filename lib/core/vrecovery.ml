@@ -1,0 +1,95 @@
+type result = { versions : int; segments : int; hardened : int }
+
+let cls_of_string s =
+  match List.find_opt (fun c -> Vclass.to_string c = s) Vclass.all with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Vrecovery: unknown version class %S" s)
+
+let rebuild (st : State.t) ~(segments : Wal_recovery.seg_build list) ~next_seg_id ~now =
+  (* Recreate every surviving segment with its original identity. The
+     capacity is widened to its recovered contents if the configured
+     segment size shrank across the restart. *)
+  let builds =
+    List.filter (fun (b : Wal_recovery.seg_build) -> b.versions <> []) segments
+  in
+  let made =
+    List.map
+      (fun (b : Wal_recovery.seg_build) ->
+        let bytes =
+          List.fold_left
+            (fun acc (v : Checkpoint.seg_version) -> acc + v.bytes)
+            0 b.versions
+        in
+        let seg =
+          Segment.create ~id:b.seg_id ~cls:(cls_of_string b.cls)
+            ~cap_bytes:(max st.State.config.State.segment_bytes bytes)
+            ~now
+        in
+        Hashtbl.replace st.State.seg_index b.seg_id seg;
+        (b, seg))
+      builds
+  in
+  let seg_of_id = Hashtbl.create 64 in
+  List.iter (fun ((b : Wal_recovery.seg_build), seg) -> Hashtbl.replace seg_of_id b.seg_id seg) made;
+  (* Chains must be rebuilt oldest-first per record: push_newest demands
+     ascending creator timestamps, and relocation order across segments
+     is not segment-id order. *)
+  let per_rid : (int, (int * Checkpoint.seg_version) list ref) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  List.iter
+    (fun ((b : Wal_recovery.seg_build), _) ->
+      List.iter
+        (fun (v : Checkpoint.seg_version) ->
+          match Hashtbl.find_opt per_rid v.rid with
+          | Some l -> l := (b.seg_id, v) :: !l
+          | None -> Hashtbl.replace per_rid v.rid (ref [ (b.seg_id, v) ]))
+        b.versions)
+    made;
+  let rids = Hashtbl.fold (fun rid _ acc -> rid :: acc) per_rid [] |> List.sort compare in
+  let count = ref 0 in
+  List.iter
+    (fun rid ->
+      let versions =
+        !(Hashtbl.find per_rid rid)
+        |> List.sort (fun (_, (a : Checkpoint.seg_version)) (_, b) -> compare a.vs b.vs)
+      in
+      let chain = Llb.get_or_create st.State.llb ~rid in
+      List.iter
+        (fun (seg_id, (v : Checkpoint.seg_version)) ->
+          let seg = Hashtbl.find seg_of_id seg_id in
+          let version =
+            Version.make ~rid:v.rid ~vs:v.vs ~ve:v.ve ~vs_time:v.vs_time ~ve_time:v.ve_time
+              ~bytes:v.bytes ~payload:v.value
+          in
+          let node =
+            Chain.push_newest chain ~prune_interval:(v.lo, v.hi) version ~seg_id
+          in
+          Segment.add seg node;
+          (* Reborn after being counted lost by the crash: the
+             conservation law [relocated = prune1 + prune2 + stored +
+             lost + in_flight] stays exact through the round trip. *)
+          Prune_stats.note_relocated st.State.stats;
+          incr count)
+        versions)
+    rids;
+  (* Restore each segment's lifecycle state: hardened ones re-enter the
+     version store, buffered ones queue as sealed (flush order by id —
+     ids are allocation order). *)
+  let hardened = ref 0 in
+  List.iter
+    (fun ((b : Wal_recovery.seg_build), seg) ->
+      if b.hardened then begin
+        Version_store.harden st.State.store seg ~now;
+        List.iter
+          (fun (_ : Checkpoint.seg_version) ->
+            Prune_stats.note_stored st.State.stats seg.Segment.cls)
+          b.versions;
+        incr hardened
+      end
+      else Vec.push st.State.sealed seg)
+    made;
+  st.State.next_seg_id <- max st.State.next_seg_id next_seg_id;
+  Metrics.bump_by "recovery.versions_replayed" !count;
+  Metrics.bump_by "recovery.segments_rebuilt" (List.length made);
+  { versions = !count; segments = List.length made; hardened = !hardened }

@@ -1,0 +1,24 @@
+(** Restart rebuild of the driver's off-row state.
+
+    Consumes the surviving-segment image computed by
+    {!Wal_recovery.expect} (last checkpoint's segments merged with
+    post-checkpoint relocations, minus dropped and cut segments) and
+    reconstructs the LLB chains, vBuffer sealed queue, version store and
+    segment index with the original segment identities.
+
+    Chains come back in the 0-hole state — every per-record version
+    list is re-pushed oldest first — and every rebuilt version re-enters
+    the {!Prune_stats} conservation law as relocated (plus stored for
+    hardened segments), balancing the [lost] bucket the crash charged.
+
+    Must be called on a freshly wiped state ({!Driver.crash_restart})
+    before the workload resumes. *)
+
+type result = { versions : int; segments : int; hardened : int }
+
+val rebuild :
+  State.t ->
+  segments:Wal_recovery.seg_build list ->
+  next_seg_id:int ->
+  now:Clock.time ->
+  result

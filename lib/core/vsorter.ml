@@ -27,6 +27,7 @@ let drop_dead_segment (st : State.t) seg ~now =
       end)
     seg.Segment.nodes;
   State.drop_segment st seg;
+  State.log_wal st ~now (Wal_record.Seg_drop { seg_id = seg.Segment.id });
   !pruned
 
 let harden_segment (st : State.t) seg ~now =
@@ -35,6 +36,7 @@ let harden_segment (st : State.t) seg ~now =
   for _ = 1 to stored do
     Prune_stats.note_stored st.State.stats seg.Segment.cls
   done;
+  State.log_wal st ~now (Wal_record.Seg_harden { seg_id = seg.Segment.id });
   Metrics.bump "vsorter.segments_flushed";
   Metrics.bump_by "vsorter.versions_stored" stored;
   if Trace.on () then
@@ -103,12 +105,16 @@ let sweep (st : State.t) ~now =
       ];
   r
 
-let seal (st : State.t) ~cls =
+let seal (st : State.t) ~cls ~now =
   let idx = Vclass.to_index cls in
   match st.State.open_segments.(idx) with
   | Some seg ->
       st.State.open_segments.(idx) <- None;
-      if Segment.is_empty seg then State.drop_segment st seg else Vec.push st.State.sealed seg
+      if Segment.is_empty seg then begin
+        State.drop_segment st seg;
+        State.log_wal st ~now (Wal_record.Seg_drop { seg_id = seg.Segment.id })
+      end
+      else Vec.push st.State.sealed seg
   | None -> ()
 
 let relocate (st : State.t) version ~now =
@@ -151,7 +157,7 @@ let relocate (st : State.t) version ~now =
       match st.State.open_segments.(idx) with
       | Some seg when Segment.fits seg ~bytes:version.Version.bytes -> seg
       | Some _ ->
-          seal st ~cls;
+          seal st ~cls ~now;
           let seg = State.fresh_segment st ~cls ~now in
           st.State.open_segments.(idx) <- Some seg;
           seg
@@ -163,11 +169,26 @@ let relocate (st : State.t) version ~now =
     let chain = Llb.get_or_create st.State.llb ~rid:version.Version.rid in
     let node = Chain.push_newest chain ~prune_interval:interval version ~seg_id:seg.Segment.id in
     Segment.add seg node;
+    State.log_wal st ~now
+      (Wal_record.Relocate
+         {
+           rid = version.Version.rid;
+           vs;
+           ve;
+           vs_time = version.Version.vs_time;
+           ve_time = version.Version.ve_time;
+           bytes = version.Version.bytes;
+           value = version.Version.payload;
+           seg_id = seg.Segment.id;
+           cls = Vclass.to_string cls;
+           lo;
+           hi;
+         });
     Buffered cls
   end
 
 let flush_all (st : State.t) ~now =
-  List.iter (fun cls -> seal st ~cls) Vclass.all;
+  List.iter (fun cls -> seal st ~cls ~now) Vclass.all;
   let swept = sweep st ~now in
   (* Harden whatever survived the final sweep. *)
   let flushed = ref 0 and stored = ref 0 in

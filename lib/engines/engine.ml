@@ -10,6 +10,15 @@ type sample = {
 
 type write_result = Committed_path of Clock.time | Conflict of Clock.time
 
+type restart_info = {
+  replayed_records : int;
+  replayed_versions : int;
+  truncated_frames : int;
+  losers_rolled_back : int;
+  recovered_to_lsn : int;
+  recovery_cost : Clock.time;
+}
+
 type t = {
   name : string;
   txns : Txn_manager.t;
@@ -24,4 +33,9 @@ type t = {
   finish : now:Clock.time -> unit;
   crash : unit -> Clock.time;
   driver : Driver.t option;
+  checkpoint : (now:Clock.time -> unit) option;
+      (* durable engines only: write a fuzzy checkpoint to the WAL *)
+  restart : (now:Clock.time -> restart_info) option;
+      (* durable engines only: recover from the surviving log after a
+         crash truncated it — replaces the bare [crash] wipe *)
 }

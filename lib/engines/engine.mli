@@ -26,6 +26,15 @@ type sample = {
 
 type write_result = Committed_path of Clock.time | Conflict of Clock.time
 
+type restart_info = {
+  replayed_records : int;  (** redo records applied past the checkpoint *)
+  replayed_versions : int;  (** off-row versions rebuilt into chains *)
+  truncated_frames : int;  (** torn/corrupt tail frames refused *)
+  losers_rolled_back : int;  (** in-flight at crash, rolled back by CLR aborts *)
+  recovered_to_lsn : int;  (** last trustworthy LSN replayed *)
+  recovery_cost : Clock.time;  (** simulated duration of the restart *)
+}
+
 type t = {
   name : string;
   txns : Txn_manager.t;
@@ -54,4 +63,15 @@ type t = {
           lookups in PostgreSQL and vDriver (§4.2), and vDriver's undo
           is a per-record bit toggle. *)
   driver : Driver.t option;  (** vDriver instance, when the engine has one *)
+  checkpoint : (now:Clock.time -> unit) option;
+      (** durable engines only: write a fuzzy checkpoint (commit-log
+          window, live set, in-row image, segment descriptors) to the
+          WAL and fsync it. [None] for non-durable engines — the runner
+          uses this to decide whether to spawn a checkpointer process. *)
+  restart : (now:Clock.time -> restart_info) option;
+      (** durable engines only: ARIES-lite restart from the surviving
+          log — truncate the untrustworthy tail, replay redo from the
+          last checkpoint, rebuild in-row and off-row state, roll back
+          losers, write an end-of-restart checkpoint. Replaces the bare
+          {!field-crash} wipe when present. *)
 }

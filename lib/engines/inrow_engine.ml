@@ -231,4 +231,6 @@ let create ?(costs = Costs.default) ?(vacuum_batch = 4096) schema =
     finish = (fun ~now -> ignore now);
     crash = (fun () -> crash_recover st);
     driver = None;
+    checkpoint = None;
+    restart = None;
   }

@@ -345,4 +345,6 @@ let create ?(costs = Costs.default) ?(purge_batch = 4096) ?(undo_pool_pages = 51
           losers;
         scan_cost + (!undo_ops * (costs.Costs.io_latency + costs.Costs.write_base)));
     driver = None;
+    checkpoint = None;
+    restart = None;
   }

@@ -73,6 +73,12 @@ let write st (txn : Txn.t) ~rid ~payload ~now =
     in
     if cur.Version.vs <> txn.Txn.tid then note_write st txn rid;
     Wal.append st.wal ~at:now ~bytes:st.schema.Schema.record_bytes ();
+    (* Durable mode: the uncommitted write is logged ARIES-style at
+       write time; replay applies it only if the owner commits. No-op
+       (and no side effects) while the WAL is in byte-counting mode. *)
+    ignore
+      (Wal.log st.wal ~at:now
+         (Wal_record.Version_insert { tid = txn.Txn.tid; rid; value = payload }));
     let reloc_cost =
       match r.Siro.relocated with
       | None -> 0
@@ -165,6 +171,219 @@ let create ?(costs = Costs.default) ?driver_config ~flavor schema =
       write_sets = Hashtbl.create 256;
     }
   in
+  let durable = (Driver.config driver).State.durable_wal in
+  (* Fuzzy checkpoint image: everything redo needs, captured without
+     waiting for in-flight transactions (see {!Checkpoint}). *)
+  let build_snapshot ~now =
+    let clog = Txn_manager.commit_log mgr in
+    let live = Txn_manager.live_begin_ts mgr in
+    (* Bounded commit-log window: outcomes older than the oldest live
+       begin ts are only needed through data that carries them (row
+       [cts], relocation [(lo, hi)]), so they are not snapshotted. *)
+    let floor = match live with t0 :: _ -> t0 | [] -> Txn_manager.oracle mgr in
+    let committed, aborted =
+      List.fold_left
+        (fun (cs, abs_) (tid, status) ->
+          if tid < floor then (cs, abs_)
+          else
+            match status with
+            | Commit_log.Committed_at ts -> ((tid, ts) :: cs, abs_)
+            | Commit_log.Aborted_at ts -> (cs, (tid, ts) :: abs_))
+        ([], []) (Commit_log.entries clog)
+    in
+    let rows = ref [] in
+    for rid = Schema.records schema - 1 downto 0 do
+      let slot = st.slots.(rid) in
+      let cur = Siro.current slot in
+      let pick =
+        if cur.Version.vs = 0 || Commit_log.is_committed clog cur.Version.vs then Some cur
+        else Siro.previous slot
+        (* fuzzy: the current version is an in-flight write; the in-row
+           old version is the last committed image *)
+      in
+      let row =
+        match pick with
+        | Some v ->
+            let cts =
+              if v.Version.vs = 0 then 0
+              else
+                match Commit_log.commit_ts_of clog v.Version.vs with
+                | Some c -> c
+                | None -> 0
+            in
+            {
+              Checkpoint.rid;
+              value = v.Version.payload;
+              vs = v.Version.vs;
+              vs_time = v.Version.vs_time;
+              cts;
+            }
+        | None -> { Checkpoint.rid; value = rid; vs = 0; vs_time = 0; cts = 0 }
+      in
+      rows := row :: !rows
+    done;
+    let pending =
+      Hashtbl.fold (fun tid rids acc -> (tid, List.sort_uniq compare !rids) :: acc)
+        st.write_sets []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+      |> List.map (fun (tid, rids) ->
+             let writes =
+               List.filter_map
+                 (fun rid ->
+                   let cur = Siro.current st.slots.(rid) in
+                   if cur.Version.vs = tid then
+                     Some
+                       {
+                         Checkpoint.rid;
+                         value = cur.Version.payload;
+                         vs_time = cur.Version.vs_time;
+                       }
+                   else None)
+                 rids
+             in
+             { Checkpoint.tid; writes })
+    in
+    let seg_image (seg : Segment.t) ~hardened =
+      let versions = ref [] in
+      Vec.iter
+        (fun (n : Chain.node) ->
+          if not n.Chain.deleted then
+            let v = n.Chain.version in
+            versions :=
+              {
+                Checkpoint.rid = v.Version.rid;
+                vs = v.Version.vs;
+                ve = v.Version.ve;
+                vs_time = v.Version.vs_time;
+                ve_time = v.Version.ve_time;
+                bytes = v.Version.bytes;
+                value = v.Version.payload;
+                lo = n.Chain.prune_lo;
+                hi = n.Chain.prune_hi;
+              }
+              :: !versions)
+        seg.Segment.nodes;
+      {
+        Checkpoint.seg_id = seg.Segment.id;
+        cls = Vclass.to_string seg.Segment.cls;
+        hardened;
+        versions = List.rev !versions;
+      }
+    in
+    let segs = ref [] in
+    Array.iter
+      (function Some s -> segs := seg_image s ~hardened:false :: !segs | None -> ())
+      driver.State.open_segments;
+    Vec.iter (fun s -> segs := seg_image s ~hardened:false :: !segs) driver.State.sealed;
+    Version_store.iter_hardened (Driver.store driver) (fun s ->
+        segs := seg_image s ~hardened:true :: !segs);
+    {
+      Checkpoint.at = now;
+      oracle_next = Txn_manager.oracle mgr;
+      live;
+      committed = List.rev committed;
+      aborted = List.rev aborted;
+      rows = !rows;
+      pending;
+      segments =
+        List.sort (fun (a : Checkpoint.seg) b -> compare a.seg_id b.seg_id) !segs;
+      next_seg_id = driver.State.next_seg_id;
+    }
+  in
+  let do_checkpoint ~now =
+    ignore (Wal.log wal ~at:now Wal_record.Ckpt_begin);
+    let snap = build_snapshot ~now in
+    ignore
+      (Wal.log wal ~at:now (Wal_record.Ckpt_end { snapshot = Checkpoint.to_json snap }));
+    ignore (Wal.fsync wal ~at:now ());
+    Metrics.bump "recovery.checkpoints";
+    if Trace.on () then
+      Trace.instant Trace.Wal "checkpoint" ~at:now
+        [ ("lsn", Trace.I (Wal.max_lsn wal)) ]
+  in
+  (* ARIES-lite restart: truncate the untrustworthy tail, replay redo
+     from the last checkpoint, rebuild in-row and off-row state, roll
+     back losers with compensating aborts, then checkpoint so the next
+     restart starts clean. *)
+  let do_restart ~now =
+    let skip = (Driver.config driver).State.recovery_skip_tail_check in
+    let analysis = Wal_recovery.analyze ~check_crc:(not skip) wal in
+    let exp = Wal_recovery.expect analysis in
+    Wal.truncate_to wal ~lsn:analysis.Wal_recovery.truncate_lsn;
+    Driver.crash_restart driver;
+    Hashtbl.reset st.write_sets;
+    Buffer_pool.clear st.pool;
+    let clrs =
+      Txn_manager.crash_recover mgr ~committed:exp.Wal_recovery.committed
+        ~aborted:exp.Wal_recovery.aborted ~losers:exp.Wal_recovery.losers
+        ~oracle_floor:exp.Wal_recovery.oracle_floor
+    in
+    List.iter
+      (fun (tid, ats) -> ignore (Wal.log wal ~at:now (Wal_record.Txn_abort { tid; ats })))
+      clrs;
+    ignore (Wal.fsync wal ~at:now ());
+    for rid = 0 to Schema.records schema - 1 do
+      st.slots.(rid) <-
+        Siro.create ~rid ~bytes:schema.Schema.record_bytes ~payload:rid ~vs:0 ~vs_time:0
+    done;
+    List.iter
+      (fun (r : Checkpoint.row) ->
+        st.slots.(r.Checkpoint.rid) <-
+          Siro.create ~rid:r.Checkpoint.rid ~bytes:schema.Schema.record_bytes
+            ~payload:r.Checkpoint.value ~vs:r.Checkpoint.vs ~vs_time:r.Checkpoint.vs_time)
+      exp.Wal_recovery.rows;
+    let vres =
+      Vrecovery.rebuild driver ~segments:exp.Wal_recovery.segments
+        ~next_seg_id:exp.Wal_recovery.next_seg_id ~now
+    in
+    State.refresh_zones driver ~now;
+    do_checkpoint ~now;
+    Metrics.bump "recovery.restarts";
+    Metrics.bump_by "recovery.records_replayed" exp.Wal_recovery.replayed;
+    Metrics.bump_by "recovery.frames_truncated" analysis.Wal_recovery.dropped;
+    Metrics.bump_by "recovery.losers_rolled_back" (List.length clrs);
+    let recovery_cost =
+      (analysis.Wal_recovery.survivors * costs.Costs.version_hop)
+      + (vres.Vrecovery.versions * costs.Costs.segment_append)
+      + (vres.Vrecovery.segments * costs.Costs.io_latency)
+      + (List.length clrs * costs.Costs.zone_check)
+      + costs.Costs.io_latency
+    in
+    if Trace.on () then
+      Trace.span Trace.Engine "restart" ~start:now ~dur:recovery_cost
+        [
+          ("replayed", Trace.I exp.Wal_recovery.replayed);
+          ("versions", Trace.I vres.Vrecovery.versions);
+          ("truncated", Trace.I analysis.Wal_recovery.dropped);
+          ("losers", Trace.I (List.length clrs));
+          ("to_lsn", Trace.I analysis.Wal_recovery.truncate_lsn);
+        ];
+    {
+      Engine.replayed_records = exp.Wal_recovery.replayed;
+      replayed_versions = vres.Vrecovery.versions;
+      truncated_frames = analysis.Wal_recovery.dropped;
+      losers_rolled_back = List.length clrs;
+      recovered_to_lsn = analysis.Wal_recovery.truncate_lsn;
+      recovery_cost;
+    }
+  in
+  if durable then begin
+    Wal.enable_durability wal;
+    driver.State.wal <- Some wal;
+    driver.State.inrow_probe <-
+      Some
+        (fun () ->
+          let acc = ref [] in
+          for rid = Schema.records schema - 1 downto 0 do
+            let cur = Siro.current st.slots.(rid) in
+            acc := (rid, cur.Version.payload, cur.Version.vs) :: !acc
+          done;
+          !acc);
+    (* Bootstrap checkpoint (LSNs 1-2): recovery always has a base
+       image, so a crash clamped to {!Wal.bootstrap_lsn} replays the
+       initial database rather than an empty one. *)
+    do_checkpoint ~now:0
+  end;
   let inrow_len rid =
     if Siro.previous st.slots.(rid) = None then 1 else 2
   in
@@ -187,6 +406,7 @@ let create ?(costs = Costs.default) ?driver_config ~flavor schema =
     begin_txn =
       (fun ~now ->
         let txn = Txn_manager.begin_txn mgr ~now in
+        ignore (Wal.log wal ~at:now (Wal_record.Txn_begin { tid = txn.Txn.tid }));
         (txn, now + costs.Costs.txn_begin));
     read = (fun txn ~rid ~now -> read st txn ~rid ~now);
     write = (fun txn ~rid ~payload ~now -> write st txn ~rid ~payload ~now);
@@ -194,11 +414,32 @@ let create ?(costs = Costs.default) ?driver_config ~flavor schema =
       (fun txn ~now ->
         Hashtbl.remove st.write_sets txn.Txn.tid;
         Txn_manager.commit mgr txn ~now;
+        if Wal.is_durable wal then begin
+          let cts =
+            match Commit_log.commit_ts_of (Txn_manager.commit_log mgr) txn.Txn.tid with
+            | Some c -> c
+            | None -> 0
+          in
+          ignore (Wal.log wal ~at:now (Wal_record.Txn_commit { tid = txn.Txn.tid; cts }));
+          (* Group-commit-free model: every commit forces the log. A
+             rejected fsync leaves the commit volatile — the crash
+             oracle treats it as a loser, which is the conservative
+             durability contract. *)
+          ignore (Wal.fsync wal ~at:now ())
+        end;
         now + costs.Costs.txn_commit);
     abort =
       (fun txn ~now ->
         rollback_writes st txn;
         Txn_manager.abort mgr txn ~now;
+        if Wal.is_durable wal then begin
+          let ats =
+            match Commit_log.status (Txn_manager.commit_log mgr) txn.Txn.tid with
+            | Some (Commit_log.Aborted_at a) -> a
+            | _ -> 0
+          in
+          ignore (Wal.log wal ~at:now (Wal_record.Txn_abort { tid = txn.Txn.tid; ats }))
+        end;
         now + costs.Costs.txn_commit);
     maintenance = (fun ~now -> maintenance st ~now);
     sample =
@@ -242,6 +483,8 @@ let create ?(costs = Costs.default) ?driver_config ~flavor schema =
         Driver.crash_restart driver;
         !undo_ops * costs.Costs.zone_check);
     driver = Some driver;
+    checkpoint = (if durable then Some (fun ~now -> do_checkpoint ~now) else None);
+    restart = (if durable then Some (fun ~now -> do_restart ~now) else None);
   }
 
 let driver_exn (engine : Engine.t) =

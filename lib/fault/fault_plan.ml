@@ -1,4 +1,11 @@
-type action = Crash | Abort_txn | Wal_error | Flush_fail | Evict_storm | Space_storm
+type action =
+  | Crash
+  | Abort_txn
+  | Wal_error
+  | Flush_fail
+  | Evict_storm
+  | Space_storm
+  | Wal_bitflip
 
 let action_name = function
   | Crash -> "crash"
@@ -7,8 +14,10 @@ let action_name = function
   | Flush_fail -> "flush-fail"
   | Evict_storm -> "evict-storm"
   | Space_storm -> "space-storm"
+  | Wal_bitflip -> "wal-bitflip"
 
-let all_actions = [ Crash; Abort_txn; Wal_error; Flush_fail; Evict_storm; Space_storm ]
+let all_actions =
+  [ Crash; Abort_txn; Wal_error; Flush_fail; Evict_storm; Space_storm; Wal_bitflip ]
 
 type event = { at : Clock.time; action : action }
 
@@ -29,6 +38,8 @@ type t = {
   processes : process list;
   check_period : Clock.time;
   rates : (action * float) list; (* for pp, declaration order *)
+  crash_points : int list; (* crash-at-LSN schedule, ascending *)
+  torn_tail : bool;
 }
 
 let gap process =
@@ -49,7 +60,11 @@ let make_process ~seed action rate =
 
 let create ?(seed = 0) ?(events = []) ?(crash_rate = 0.) ?(abort_rate = 0.)
     ?(wal_error_rate = 0.) ?(flush_fail_rate = 0.) ?(evict_storm_rate = 0.)
-    ?(space_storm_rate = 0.) ?(check_period = Clock.ms 100) () =
+    ?(space_storm_rate = 0.) ?(wal_bitflip_rate = 0.) ?(crash_points = [])
+    ?(torn_tail = false) ?(check_period = Clock.ms 100) () =
+  (* [Wal_bitflip] is drawn last so plans that do not use it keep the
+     exact sub-seed sequence (and therefore injection times) they had
+     before it existed. *)
   let rates =
     [
       (Crash, crash_rate);
@@ -58,6 +73,7 @@ let create ?(seed = 0) ?(events = []) ?(crash_rate = 0.) ?(abort_rate = 0.)
       (Flush_fail, flush_fail_rate);
       (Evict_storm, evict_storm_rate);
       (Space_storm, space_storm_rate);
+      (Wal_bitflip, wal_bitflip_rate);
     ]
   in
   (* Derive one independent stream per process from the plan seed. *)
@@ -75,21 +91,28 @@ let create ?(seed = 0) ?(events = []) ?(crash_rate = 0.) ?(abort_rate = 0.)
     processes;
     check_period;
     rates;
+    crash_points = List.sort_uniq compare (List.filter (fun p -> p > 0) crash_points);
+    torn_tail;
   }
 
 let none = create ()
 
-let random ~seed =
+let random ?(crash_points = []) ?(torn_tail = false) ~seed () =
   let rng = Rng.create (seed lxor 0x6661756c74) in
   (* Keep crashes rare relative to the finer-grained faults: a crash
-     wipes the state the other injections are stressing. *)
+     wipes the state the other injections are stressing. The rate draws
+     happen in this exact order regardless of the crash-point extras,
+     so plans without them are unchanged from before they existed. *)
   let draw lo hi = lo +. (Rng.float rng *. (hi -. lo)) in
   create ~seed ~crash_rate:(draw 0.05 0.3) ~abort_rate:(draw 2. 20.)
     ~wal_error_rate:(draw 1. 10.) ~flush_fail_rate:(draw 5. 40.)
-    ~evict_storm_rate:(draw 0.5 4.) ~space_storm_rate:(draw 0.5 3.) ()
+    ~evict_storm_rate:(draw 0.5 4.) ~space_storm_rate:(draw 0.5 3.) ~crash_points
+    ~torn_tail ()
 
 let seed t = t.plan_seed
 let check_period t = t.check_period
+let crash_points t = t.crash_points
+let torn_tail t = t.torn_tail
 
 let poll t ~now =
   let due_events = ref [] in

@@ -22,6 +22,9 @@ type action =
   | Space_storm
       (** a burst writer displaces a volley of versions at once — the
           quota squeeze that drives the governor's ladder *)
+  | Wal_bitflip
+      (** flip bits inside one surviving WAL frame — silent log
+          corruption the next recovery's CRC pass must refuse *)
 
 val action_name : action -> string
 val all_actions : action list
@@ -39,6 +42,9 @@ val create :
   ?flush_fail_rate:float ->
   ?evict_storm_rate:float ->
   ?space_storm_rate:float ->
+  ?wal_bitflip_rate:float ->
+  ?crash_points:int list ->
+  ?torn_tail:bool ->
   ?check_period:Clock.time ->
   unit ->
   t
@@ -46,20 +52,33 @@ val create :
     any order. [check_period] is the cadence at which the harness runs
     the online invariant sweep (default 100 ms; the prune-soundness
     audit is continuous regardless). Negative rates raise
-    [Invalid_argument]. *)
+    [Invalid_argument].
+
+    [crash_points] schedules deterministic crash-restarts by WAL
+    position: the runner kills power the first time the log's highest
+    LSN reaches each point (requires a durable engine; ignored
+    otherwise). [torn_tail] additionally appends a fabricated,
+    checksum-stale commit frame at each of those crashes — the
+    torn-sector model honest recovery must truncate. *)
 
 val none : t
 (** The no-op plan: no events, all rates zero. Wiring it through a run
     must not change the run's results — the determinism tests hold us to
     that. *)
 
-val random : seed:int -> t
+val random : ?crash_points:int list -> ?torn_tail:bool -> seed:int -> unit -> t
 (** A moderately aggressive plan derived entirely from [seed]: every
     rate is drawn from a seeded stream. Chaos campaigns use one per
-    campaign. *)
+    campaign. The optional crash-point schedule rides along without
+    perturbing the rate draws. *)
 
 val seed : t -> int
 val check_period : t -> Clock.time
+
+val crash_points : t -> int list
+(** Ascending, duplicates removed. *)
+
+val torn_tail : t -> bool
 
 val poll : t -> now:Clock.time -> action list
 (** All injections due at or before [now] that were not already

@@ -160,6 +160,146 @@ let check_post_crash (d : Driver.t) =
   List.rev !acc
 
 (* ------------------------------------------------------------------ *)
+(* Post-recovery durability: the recovered engine against the honest
+   log oracle.
+
+   The oracle re-analyzes the WAL with CRC checking unconditionally on
+   — never the engine's [recovery_skip_tail_check] knob — so a restart
+   that replayed a torn tail diverges from the oracle and is caught
+   here. The comparison is one-directional (oracle subset of engine)
+   for the commit log: the recovered engine legitimately remembers
+   outcomes older than the bounded window the end-of-restart checkpoint
+   snapshots. The negative checks close the gap: no oracle loser or
+   aborted transaction may be committed, and no committed timestamp may
+   sit at or above the oracle's frontier (which is what catches a
+   fabricated commit record). *)
+
+let check_post_recovery (d : Driver.t) =
+  let st : State.t = d in
+  match st.State.wal with
+  | None -> []
+  | Some wal when not (Wal.is_durable wal) -> []
+  | Some wal ->
+      let analysis = Wal_recovery.analyze ~check_crc:true wal in
+      let exp = Wal_recovery.expect analysis in
+      let clog = Txn_manager.commit_log st.State.txns in
+      let acc = ref [] in
+      let add x = acc := x :: !acc in
+      (* Committed effects are durable. *)
+      List.iter
+        (fun (tid, cts) ->
+          match Commit_log.status clog tid with
+          | Some (Commit_log.Committed_at c) when c = cts -> ()
+          | Some (Commit_log.Committed_at c) ->
+              add
+                (v "recovery-durability" "t%d recovered with commit ts %d, log says %d" tid c
+                   cts)
+          | Some (Commit_log.Aborted_at _) ->
+              add (v "recovery-durability" "t%d committed durably but recovered as aborted" tid)
+          | None ->
+              add (v "recovery-durability" "t%d committed durably but the engine forgot it" tid))
+        exp.Wal_recovery.committed;
+      (* No resurrection: losers and aborted transactions stay dead. *)
+      List.iter
+        (fun (tid, _) ->
+          if Commit_log.is_committed clog tid then
+            add (v "recovery-atomicity" "t%d aborted durably but recovered as committed" tid))
+        exp.Wal_recovery.aborted;
+      List.iter
+        (fun tid ->
+          if Commit_log.is_committed clog tid then
+            add
+              (v "recovery-atomicity"
+                 "t%d had no durable outcome (loser) but recovered as committed" tid))
+        exp.Wal_recovery.losers;
+      (* No phantom: a committed timestamp the trustworthy log never
+         handed out means a fabricated record was replayed. *)
+      List.iter
+        (fun (tid, status) ->
+          match status with
+          | Commit_log.Committed_at _ when tid >= exp.Wal_recovery.oracle_floor ->
+              add
+                (v "recovery-phantom"
+                   "t%d is committed in the engine but at/above the log's timestamp frontier %d"
+                   tid exp.Wal_recovery.oracle_floor)
+          | _ -> ())
+        (Commit_log.entries clog);
+      (* The recovered in-row image matches the durable one exactly. *)
+      (match st.State.inrow_probe with
+      | None -> ()
+      | Some probe ->
+          let image = probe () in
+          let by_rid = Hashtbl.create (List.length image) in
+          List.iter (fun (rid, value, vs) -> Hashtbl.replace by_rid rid (value, vs)) image;
+          List.iter
+            (fun (r : Checkpoint.row) ->
+              match Hashtbl.find_opt by_rid r.Checkpoint.rid with
+              | None ->
+                  add (v "recovery-inrow" "r%d has no in-row slot after recovery" r.Checkpoint.rid)
+              | Some (value, vs) ->
+                  if value <> r.Checkpoint.value || vs <> r.Checkpoint.vs then
+                    add
+                      (v "recovery-inrow"
+                         "r%d recovered as (value=%d, vs=%d) but the log says (value=%d, vs=%d)"
+                         r.Checkpoint.rid value vs r.Checkpoint.value r.Checkpoint.vs))
+            exp.Wal_recovery.rows);
+      (* Surviving segments are back with identity, class, lifecycle
+         state and contents; dropped or cut segments stay dead. *)
+      List.iter
+        (fun (b : Wal_recovery.seg_build) ->
+          if b.Wal_recovery.versions <> [] then
+            match State.find_segment st b.Wal_recovery.seg_id with
+            | None ->
+                add
+                  (v "recovery-segments" "segment %d survived in the log but was not rebuilt"
+                     b.Wal_recovery.seg_id)
+            | Some seg ->
+                if Vclass.to_string seg.Segment.cls <> b.Wal_recovery.cls then
+                  add
+                    (v "recovery-segments" "segment %d rebuilt in class %s, log says %s"
+                       b.Wal_recovery.seg_id
+                       (Vclass.to_string seg.Segment.cls)
+                       b.Wal_recovery.cls);
+                let hardened = seg.Segment.state = Segment.Hardened in
+                if hardened <> b.Wal_recovery.hardened then
+                  add
+                    (v "recovery-segments" "segment %d rebuilt %s, log says %s"
+                       b.Wal_recovery.seg_id
+                       (if hardened then "hardened" else "buffered")
+                       (if b.Wal_recovery.hardened then "hardened" else "buffered"));
+                let live = Segment.live_count seg in
+                let logged = List.length b.Wal_recovery.versions in
+                if live <> logged then
+                  add
+                    (v "recovery-segments" "segment %d rebuilt with %d live versions, log says %d"
+                       b.Wal_recovery.seg_id live logged))
+        exp.Wal_recovery.segments;
+      List.iter
+        (fun seg_id ->
+          match State.find_segment st seg_id with
+          | Some seg when seg.Segment.state <> Segment.Cut ->
+              add
+                (v "recovery-segments"
+                   "segment %d was durably dropped/cut but resurrected by recovery" seg_id)
+          | _ -> ())
+        exp.Wal_recovery.dead_segs;
+      (* Frontier and accounting conservativeness. *)
+      if Txn_manager.oracle st.State.txns < exp.Wal_recovery.oracle_floor then
+        add
+          (v "recovery-frontier" "timestamp oracle resumed at %d, below the log frontier %d"
+             (Txn_manager.oracle st.State.txns)
+             exp.Wal_recovery.oracle_floor);
+      if st.State.next_seg_id < exp.Wal_recovery.next_seg_id then
+        add
+          (v "recovery-frontier" "segment allocator resumed at %d, below the log frontier %d"
+             st.State.next_seg_id exp.Wal_recovery.next_seg_id);
+      if Wal.records wal < analysis.Wal_recovery.survivors then
+        add
+          (v "recovery-accounting" "WAL records counter %d below %d surviving frames"
+             (Wal.records wal) analysis.Wal_recovery.survivors);
+      List.rev !acc @ check_chains d @ check_stats d @ check_store d
+
+(* ------------------------------------------------------------------ *)
 (* Continuous prune-soundness audit *)
 
 let origin_name = function `Prune1 -> "1st-prune" | `Prune2 -> "2nd-prune" | `Cut -> "cut"

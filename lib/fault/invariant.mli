@@ -53,6 +53,21 @@ val check_post_crash : Driver.t -> violation list
 (** To be run immediately after a crash-restart, before any new
     relocation reaches the driver. *)
 
+val check_post_recovery : Driver.t -> violation list
+(** To be run immediately after a durable restart-replay, before the
+    workload resumes. Re-derives the expected post-recovery state from
+    the WAL with CRC checking unconditionally on (never the engine's
+    [recovery_skip_tail_check] sabotage knob) and compares: committed
+    effects durable (outcomes and the in-row image byte-exact), no
+    loser or aborted transaction resurrected as committed, no committed
+    timestamp at or above the log's frontier (a fabricated record), the
+    surviving segment set rebuilt with identity/class/state/contents,
+    dropped and cut segments still dead, the timestamp oracle and
+    segment allocator at or past their logged frontiers, and the WAL
+    counters conservative. Ends with the steady-state structure checks
+    ({!check_chains}, {!check_stats}, {!check_store}). Empty for a
+    non-durable engine. *)
+
 val install_prune_audit :
   Driver.t -> on_violation:(now:Clock.time -> violation -> unit) -> unit
 (** Arm the driver's prune audit hook: every version the instance

@@ -1,0 +1,59 @@
+(** Fuzzy checkpoint snapshots.
+
+    A checkpoint is one [Ckpt_end] WAL record whose payload captures
+    everything redo needs so replay cost is bounded by the distance to
+    the last checkpoint rather than by history (the bounded-space MVGC
+    motivation):
+
+    - the timestamp-oracle frontier and the live-transaction begin set
+      (the dead-zone inputs);
+    - a {e bounded} commit-log window — outcomes of transactions no
+      older than the oldest live begin timestamp; older commit
+      timestamps recovery could still need travel with the data that
+      references them (each row carries its creator's [cts], each
+      relocated version its precomputed prune interval);
+    - the last-committed in-row image of every record, plus the
+      uncommitted write sets of in-flight transactions ([pending]) so a
+      transaction that spans the checkpoint and commits after it can be
+      replayed without rereading pre-checkpoint log;
+    - every live off-row segment with its full version contents and
+      descriptor state (class, hardened or still buffered).
+
+    The checkpoint is fuzzy: it is taken while transactions are in
+    flight, and never waits for them. *)
+
+type seg_version = {
+  rid : int;
+  vs : int;
+  ve : int;
+  vs_time : int;
+  ve_time : int;
+  bytes : int;
+  value : int;
+  lo : int;
+  hi : int;
+}
+
+type seg = { seg_id : int; cls : string; hardened : bool; versions : seg_version list }
+
+type row = { rid : int; value : int; vs : int; vs_time : int; cts : int }
+(** Last-committed in-row version of record [rid]; [cts] is the
+    creator's commit timestamp (0 for the initial version [vs = 0]). *)
+
+type pending_write = { rid : int; value : int; vs_time : int }
+type pending = { tid : int; writes : pending_write list }
+
+type t = {
+  at : int;
+  oracle_next : int;
+  live : int list;
+  committed : (int * int) list;  (** [(tid, commit_ts)], bounded window. *)
+  aborted : (int * int) list;
+  rows : row list;
+  pending : pending list;
+  segments : seg list;
+  next_seg_id : int;
+}
+
+val to_json : t -> Jsonx.t
+val of_json : Jsonx.t -> (t, string) result

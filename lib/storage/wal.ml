@@ -1,6 +1,22 @@
-type t = { mutable total : int; mutable records : int; mutable errors : int }
+type frame = { lsn : int; repr : string }
 
-let create () = { total = 0; records = 0; errors = 0 }
+type durable = {
+  frames : frame Vec.t;
+  mutable next_lsn : int;
+  mutable flushed_lsn : int;
+  mutable fsyncs : int;
+  mutable fsync_failures : int;
+  mutable crashes : int;
+}
+
+type t = {
+  mutable total : int;
+  mutable records : int;
+  mutable errors : int;
+  mutable durable : durable option;
+}
+
+let create () = { total = 0; records = 0; errors = 0; durable = None }
 
 let append t ?at ~bytes () =
   if bytes < 0 then invalid_arg "Wal.append: negative size";
@@ -29,3 +45,136 @@ let append t ?at ~bytes () =
 let total_bytes t = t.total
 let records t = t.records
 let errors t = t.errors
+
+(* ------------------------------------------------------------------ *)
+(* Durable mode: typed record frames with LSNs and an fsync frontier.  *)
+
+let enable_durability t =
+  if t.durable = None then
+    t.durable <-
+      Some
+        {
+          frames = Vec.create ();
+          next_lsn = 1;
+          flushed_lsn = 0;
+          fsyncs = 0;
+          fsync_failures = 0;
+          crashes = 0;
+        }
+
+let is_durable t = t.durable <> None
+
+let log t ?(at = 0) payload =
+  match t.durable with
+  | None -> None
+  | Some d -> (
+      match Failpoint.check "wal.append" with
+      | `Fail ->
+          (* The simulated log device rejected the write: the record is
+             lost before it gets an LSN, so the surviving log stays a
+             gap-free prefix-of-intent; the loss is only visible in the
+             conservative error count. *)
+          t.errors <- t.errors + 1;
+          Metrics.bump "wal.errors";
+          if Trace.on () then
+            Trace.instant Trace.Wal "log-error" ~at
+              [ ("kind", Trace.S (Wal_record.kind_name payload)) ];
+          None
+      | `Pass ->
+          let lsn = d.next_lsn in
+          d.next_lsn <- lsn + 1;
+          let repr = Wal_record.encode { Wal_record.lsn; at; payload } in
+          Vec.push d.frames { lsn; repr };
+          t.total <- t.total + String.length repr;
+          t.records <- t.records + 1;
+          Metrics.bump "wal.appends";
+          Metrics.bump_by "wal.bytes" (String.length repr);
+          if Trace.on () then
+            Trace.instant Trace.Wal "log" ~at
+              [ ("lsn", Trace.I lsn); ("kind", Trace.S (Wal_record.kind_name payload)) ];
+          Some lsn)
+
+let fsync t ?(at = 0) () =
+  match t.durable with
+  | None -> true
+  | Some d -> (
+      match Failpoint.check "wal.fsync" with
+      | `Fail ->
+          (* Like a rejected append, a rejected fsync is conservative:
+             nothing new becomes durable and the failure is counted. *)
+          t.errors <- t.errors + 1;
+          d.fsync_failures <- d.fsync_failures + 1;
+          Metrics.bump "wal.errors";
+          if Trace.on () then
+            Trace.instant Trace.Wal "fsync-error" ~at
+              [ ("flushed", Trace.I d.flushed_lsn) ];
+          false
+      | `Pass ->
+          d.flushed_lsn <- d.next_lsn - 1;
+          d.fsyncs <- d.fsyncs + 1;
+          Metrics.bump "wal.fsyncs";
+          if Trace.on () then
+            Trace.instant Trace.Wal "fsync" ~at [ ("flushed", Trace.I d.flushed_lsn) ];
+          true)
+
+let with_durable t name f =
+  match t.durable with
+  | None -> invalid_arg (Printf.sprintf "Wal.%s: durability not enabled" name)
+  | Some d -> f d
+
+let max_lsn t =
+  match t.durable with
+  | None -> 0
+  | Some d -> (
+      match Vec.length d.frames with 0 -> 0 | n -> (Vec.get d.frames (n - 1)).lsn)
+
+let flushed_lsn t = match t.durable with None -> 0 | Some d -> d.flushed_lsn
+let next_lsn t = match t.durable with None -> 1 | Some d -> d.next_lsn
+let fsyncs t = match t.durable with None -> 0 | Some d -> d.fsyncs
+let fsync_failures t = match t.durable with None -> 0 | Some d -> d.fsync_failures
+let crashes t = match t.durable with None -> 0 | Some d -> d.crashes
+
+let frames t =
+  match t.durable with
+  | None -> []
+  | Some d -> Vec.fold_left (fun acc f -> (f.lsn, f.repr) :: acc) [] d.frames |> List.rev
+
+(* The bootstrap checkpoint occupies LSNs 1-2 and is fsynced at engine
+   creation; no crash may truncate below it or recovery would have no
+   base image to replay from. *)
+let bootstrap_lsn = 2
+
+let crash t ~keep_lsn =
+  with_durable t "crash" (fun d ->
+      let keep = max keep_lsn bootstrap_lsn in
+      Vec.filter_in_place (fun f -> f.lsn <= keep) d.frames;
+      d.flushed_lsn <- min d.flushed_lsn keep;
+      d.crashes <- d.crashes + 1;
+      Metrics.bump "wal.crashes")
+
+let truncate_to t ~lsn =
+  with_durable t "truncate_to" (fun d ->
+      Vec.filter_in_place (fun f -> f.lsn <= lsn) d.frames;
+      d.flushed_lsn <- min d.flushed_lsn lsn)
+
+let inject_raw t repr =
+  (* A partially-written sector: it claimed its LSN on the device but
+     never counted as a completed append, so records/bytes accounting
+     stays conservative. *)
+  with_durable t "inject_raw" (fun d ->
+      let lsn = d.next_lsn in
+      d.next_lsn <- lsn + 1;
+      Vec.push d.frames { lsn; repr };
+      lsn)
+
+let corrupt_frame t ~lsn f =
+  with_durable t "corrupt_frame" (fun d ->
+      let corrupted = ref false in
+      Vec.iteri
+        (fun i fr ->
+          if fr.lsn = lsn then begin
+            Vec.set d.frames i { fr with repr = f fr.repr };
+            corrupted := true
+          end)
+        d.frames;
+      !corrupted)

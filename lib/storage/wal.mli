@@ -1,11 +1,21 @@
-(** Redo-log volume accounting. Page splits in in-row engines "produce
-    redo logs for capturing changes" (§2.1); we track the bytes so the
-    cost shows up in the space metrics.
+(** Write-ahead log: redo-volume accounting plus an opt-in durable mode.
 
-    Writes pass through the ["wal.append"] fail-point: a failed append
-    is dropped (the simulated log device rejected it) and counted in
+    The byte-accounting face is unchanged from the seed: page splits in
+    in-row engines "produce redo logs for capturing changes" (§2.1); we
+    track the bytes so the cost shows up in the space metrics. Writes
+    pass through the ["wal.append"] fail-point: a failed append is
+    dropped (the simulated log device rejected it) and counted in
     {!errors} instead of {!total_bytes} — chaos campaigns assert the
-    accounting stays conservative under storms of these. *)
+    accounting stays conservative under storms of these.
+
+    {!enable_durability} switches on the typed-record log underneath the
+    same counters: {!log} frames a {!Wal_record.payload} with an LSN and
+    CRC, {!fsync} advances the durability frontier (through the
+    ["wal.fsync"] fail-point, failures counted in {!errors} the same
+    conservative way), and {!crash} models power loss by discarding
+    every frame past a survival point. A non-durable [t] behaves
+    byte-for-byte as before — {!log} is a no-op returning [None] with
+    no side effects, which is what keeps non-crash runs bit-identical. *)
 
 type t
 
@@ -21,4 +31,66 @@ val total_bytes : t -> int
 val records : t -> int
 
 val errors : t -> int
-(** Appends rejected by fault injection. *)
+(** Appends and fsyncs rejected by fault injection. *)
+
+(** {1 Durable mode} *)
+
+val enable_durability : t -> unit
+(** Idempotent. Until called, {!log} returns [None] without side
+    effects and {!fsync} returns [true] without side effects. *)
+
+val is_durable : t -> bool
+
+val log : t -> ?at:int -> Wal_record.payload -> int option
+(** Frame and append a typed record; returns its LSN. [None] when
+    durability is off, or when the ["wal.append"] fail-point rejected
+    the write (then the record is lost {e before} receiving an LSN, so
+    surviving LSNs are gap-free, and the loss is counted in
+    {!errors}). *)
+
+val fsync : t -> ?at:int -> unit -> bool
+(** Advance the durability frontier to the last logged record. Goes
+    through the ["wal.fsync"] fail-point; a rejected fsync leaves the
+    frontier alone, counts into {!errors}, and returns [false]. *)
+
+val max_lsn : t -> int
+(** LSN of the last surviving frame (0 if none / non-durable). *)
+
+val flushed_lsn : t -> int
+(** The durability frontier: frames at or below it survive a {!crash}
+    with no explicit survival point. *)
+
+val next_lsn : t -> int
+(** The LSN the next append (or {!inject_raw}) will claim. Differs from
+    [max_lsn t + 1] after a crash: LSNs are never reused. *)
+
+val fsyncs : t -> int
+val fsync_failures : t -> int
+val crashes : t -> int
+
+val frames : t -> (int * string) list
+(** Surviving frames in LSN order, for recovery scans. *)
+
+val bootstrap_lsn : int
+(** LSN of the engine-creation checkpoint's [Ckpt_end] frame; {!crash}
+    clamps its survival point here so recovery always has a base
+    image. *)
+
+val crash : t -> keep_lsn:int -> unit
+(** Power loss: discard every frame with LSN beyond
+    [max keep_lsn bootstrap_lsn] and pull the flushed frontier back to
+    the survival point. LSNs are never reused afterwards. *)
+
+val truncate_to : t -> lsn:int -> unit
+(** Physically drop frames beyond [lsn] — recovery calls this after
+    identifying the last trustworthy frame, so a corrupt tail cannot
+    shadow post-recovery appends on the next scan. *)
+
+val inject_raw : t -> string -> int
+(** Append a raw (typically corrupt) frame, claiming the next LSN but
+    bypassing the append counters — the harness's torn-sector model.
+    Returns the claimed LSN. *)
+
+val corrupt_frame : t -> lsn:int -> (string -> string) -> bool
+(** In-place bit-flip injection on a surviving frame; [false] if no
+    frame has that LSN. *)

@@ -1,0 +1,55 @@
+(** Typed logical WAL records.
+
+    The durable log is a sequence of framed records: transaction
+    lifecycle events, in-row version inserts, SIRO relocations into
+    off-row segments, segment state transitions (harden / second-prune
+    drop / vCutter cut) and checkpoint brackets. Each frame is one line
+    of canonical {!Jsonx} — deterministic and diffable — carrying its
+    LSN, the simulated timestamp, and a CRC-32 over the frame body so
+    recovery can detect torn or corrupted tails.
+
+    [Relocate] frames carry the displaced version's {e precomputed}
+    commit interval [(lo, hi)] (Definition 3.3's [I(v)]): replay must
+    not depend on commit-log entries older than the checkpoint window. *)
+
+type payload =
+  | Txn_begin of { tid : int }
+  | Txn_commit of { tid : int; cts : int }
+  | Txn_abort of { tid : int; ats : int }
+  | Version_insert of { tid : int; rid : int; value : int }
+      (** An uncommitted in-row write (ARIES-style: logged at write
+          time; it only takes effect at replay if [tid] commits). *)
+  | Relocate of {
+      rid : int;
+      vs : int;
+      ve : int;
+      vs_time : int;
+      ve_time : int;
+      bytes : int;
+      value : int;
+      seg_id : int;
+      cls : string;
+      lo : int;
+      hi : int;
+    }  (** A displaced version inserted into off-row segment [seg_id]. *)
+  | Seg_harden of { seg_id : int }
+  | Seg_drop of { seg_id : int }  (** Second prune of a whole sealed segment. *)
+  | Seg_cut of { seg_id : int }  (** vCutter cut of a hardened segment. *)
+  | Ckpt_begin
+  | Ckpt_end of { snapshot : Jsonx.t }  (** See {!Checkpoint}. *)
+
+type t = { lsn : int; at : int; payload : payload }
+
+val kind_name : payload -> string
+
+val encode : t -> string
+(** One-line JSON frame ending in a [crc] member computed over the rest
+    of the frame. *)
+
+val encode_with_bad_crc : t -> string
+(** Same frame with a deliberately wrong checksum — the chaos harness
+    uses it to fabricate torn tails that honest recovery must refuse. *)
+
+val decode : ?check_crc:bool -> string -> (t, string) result
+(** Parse and verify one frame. [~check_crc:false] skips checksum
+    verification — the sabotage knob recovery must {e not} use. *)

@@ -1,0 +1,228 @@
+type analysis = {
+  records : Wal_record.t list;
+  survivors : int;
+  truncate_lsn : int;
+  dropped : int;
+  checkpoint : (int * Checkpoint.t) option;
+}
+
+let analyze ?(check_crc = true) wal =
+  let frames = Wal.frames wal in
+  let total = List.length frames in
+  (* Scan forward and stop at the first frame that fails to parse or
+     verify: everything beyond a torn/corrupt frame is untrustworthy
+     even if it happens to checksum, because the device gave no
+     ordering guarantee past the tear. *)
+  let rec scan acc last = function
+    | [] -> (List.rev acc, last)
+    | (_, repr) :: rest -> (
+        match Wal_record.decode ~check_crc repr with
+        | Ok r -> scan (r :: acc) r.Wal_record.lsn rest
+        | Error _ -> (List.rev acc, last))
+  in
+  let records, truncate_lsn = scan [] 0 frames in
+  let survivors = List.length records in
+  let checkpoint =
+    List.fold_left
+      (fun acc (r : Wal_record.t) ->
+        match r.payload with
+        | Wal_record.Ckpt_end { snapshot } -> (
+            match Checkpoint.of_json snapshot with
+            | Ok ckpt -> Some (r.lsn, ckpt)
+            | Error _ -> acc)
+        | _ -> acc)
+      None records
+  in
+  { records; survivors; truncate_lsn; dropped = total - survivors; checkpoint }
+
+type seg_build = {
+  seg_id : int;
+  cls : string;
+  hardened : bool;
+  versions : Checkpoint.seg_version list;
+}
+
+type expectation = {
+  committed : (int * int) list;
+  aborted : (int * int) list;
+  losers : int list;
+  rows : Checkpoint.row list;
+  segments : seg_build list;
+  dead_segs : int list;
+  next_seg_id : int;
+  oracle_floor : int;
+  replayed : int;
+}
+
+type seg_acc = {
+  sa_cls : string;
+  mutable sa_hardened : bool;
+  mutable sa_versions : Checkpoint.seg_version list; (* reversed *)
+}
+
+let expect analysis =
+  let base =
+    match analysis.checkpoint with
+    | Some (_, ckpt) -> ckpt
+    | None ->
+        {
+          Checkpoint.at = 0;
+          oracle_next = 1;
+          live = [];
+          committed = [];
+          aborted = [];
+          rows = [];
+          pending = [];
+          segments = [];
+          next_seg_id = 0;
+        }
+  in
+  let ckpt_lsn = match analysis.checkpoint with Some (lsn, _) -> lsn | None -> 0 in
+  let committed : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let aborted : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let live : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let rows : (int, Checkpoint.row) Hashtbl.t = Hashtbl.create 256 in
+  let pending : (int, (int * Checkpoint.pending_write) list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let segs : (int, seg_acc) Hashtbl.t = Hashtbl.create 64 in
+  let dead_segs = ref [] in
+  let max_ts = ref (base.Checkpoint.oracle_next - 1) in
+  let see ts = if ts > !max_ts then max_ts := ts in
+  let next_seg_id = ref base.Checkpoint.next_seg_id in
+  List.iter (fun (tid, cts) -> Hashtbl.replace committed tid cts; see tid; see cts)
+    base.Checkpoint.committed;
+  List.iter (fun (tid, ats) -> Hashtbl.replace aborted tid ats; see tid; see ats)
+    base.Checkpoint.aborted;
+  List.iter (fun tid -> Hashtbl.replace live tid (); see tid) base.Checkpoint.live;
+  List.iter (fun (r : Checkpoint.row) -> Hashtbl.replace rows r.rid r; see r.vs; see r.cts)
+    base.Checkpoint.rows;
+  List.iter
+    (fun (p : Checkpoint.pending) ->
+      see p.tid;
+      Hashtbl.replace pending p.tid
+        (ref (List.map (fun (w : Checkpoint.pending_write) -> (w.rid, w)) p.writes)))
+    base.Checkpoint.pending;
+  List.iter
+    (fun (s : Checkpoint.seg) ->
+      Hashtbl.replace segs s.seg_id
+        { sa_cls = s.cls; sa_hardened = s.hardened; sa_versions = List.rev s.versions };
+      if s.seg_id >= !next_seg_id then next_seg_id := s.seg_id + 1)
+    base.Checkpoint.segments;
+  let note_write tid (w : Checkpoint.pending_write) =
+    let writes =
+      match Hashtbl.find_opt pending tid with
+      | Some ws -> ws
+      | None ->
+          let ws = ref [] in
+          Hashtbl.replace pending tid ws;
+          ws
+    in
+    (* Same-transaction overwrite: only the final value exists. *)
+    writes := (w.rid, w) :: List.remove_assoc w.rid !writes
+  in
+  let replayed = ref 0 in
+  let apply (r : Wal_record.t) =
+    incr replayed;
+    match r.payload with
+    | Wal_record.Txn_begin { tid } ->
+        see tid;
+        Hashtbl.replace live tid ()
+    | Wal_record.Txn_commit { tid; cts } ->
+        see tid;
+        see cts;
+        Hashtbl.remove live tid;
+        Hashtbl.replace committed tid cts;
+        (match Hashtbl.find_opt pending tid with
+        | None -> ()
+        | Some ws ->
+            Hashtbl.remove pending tid;
+            List.iter
+              (fun (_, (w : Checkpoint.pending_write)) ->
+                Hashtbl.replace rows w.rid
+                  {
+                    Checkpoint.rid = w.rid;
+                    value = w.value;
+                    vs = tid;
+                    vs_time = w.vs_time;
+                    cts;
+                  })
+              (List.rev !ws))
+    | Wal_record.Txn_abort { tid; ats } ->
+        see tid;
+        see ats;
+        Hashtbl.remove live tid;
+        Hashtbl.remove pending tid;
+        Hashtbl.replace aborted tid ats
+    | Wal_record.Version_insert { tid; rid; value } ->
+        see tid;
+        note_write tid { Checkpoint.rid; value; vs_time = r.at }
+    | Wal_record.Relocate { rid; vs; ve; vs_time; ve_time; bytes; value; seg_id; cls; lo; hi }
+      ->
+        see vs;
+        see ve;
+        see lo;
+        see hi;
+        if seg_id >= !next_seg_id then next_seg_id := seg_id + 1;
+        let acc =
+          match Hashtbl.find_opt segs seg_id with
+          | Some acc -> acc
+          | None ->
+              let acc = { sa_cls = cls; sa_hardened = false; sa_versions = [] } in
+              Hashtbl.replace segs seg_id acc;
+              acc
+        in
+        acc.sa_versions <-
+          { Checkpoint.rid; vs; ve; vs_time; ve_time; bytes; value; lo; hi }
+          :: acc.sa_versions
+    | Wal_record.Seg_harden { seg_id } -> (
+        match Hashtbl.find_opt segs seg_id with
+        | Some acc -> acc.sa_hardened <- true
+        | None -> ())
+    | Wal_record.Seg_drop { seg_id } | Wal_record.Seg_cut { seg_id } ->
+        Hashtbl.remove segs seg_id;
+        dead_segs := seg_id :: !dead_segs
+    | Wal_record.Ckpt_begin | Wal_record.Ckpt_end _ ->
+        (* Only the last complete checkpoint is the replay base; a
+           trailing Ckpt_begin whose end was lost is ignored. *)
+        ()
+  in
+  List.iter
+    (fun (r : Wal_record.t) -> if r.Wal_record.lsn > ckpt_lsn then apply r)
+    analysis.records;
+  let committed_list =
+    Hashtbl.fold (fun tid cts acc -> (tid, cts) :: acc) committed []
+  in
+  (* Commit entries for the creators of recovered rows are part of the
+     contract even when they predate the checkpoint window: write
+     conflict checks on a recovered row look its creator up in the
+     commit log. *)
+  let committed_list =
+    Hashtbl.fold
+      (fun _ (r : Checkpoint.row) acc ->
+        if r.vs > 0 && not (Hashtbl.mem committed r.vs) then (r.vs, r.cts) :: acc else acc)
+      rows committed_list
+  in
+  {
+    committed = List.sort compare committed_list;
+    aborted = Hashtbl.fold (fun tid ats acc -> (tid, ats) :: acc) aborted [] |> List.sort compare;
+    losers = Hashtbl.fold (fun tid () acc -> tid :: acc) live [] |> List.sort compare;
+    rows = Hashtbl.fold (fun _ r acc -> r :: acc) rows []
+           |> List.sort (fun (a : Checkpoint.row) b -> compare a.rid b.rid);
+    segments =
+      Hashtbl.fold
+        (fun seg_id acc l ->
+          {
+            seg_id;
+            cls = acc.sa_cls;
+            hardened = acc.sa_hardened;
+            versions = List.rev acc.sa_versions;
+          }
+          :: l)
+        segs []
+      |> List.sort (fun a b -> compare a.seg_id b.seg_id);
+    dead_segs = List.sort_uniq compare !dead_segs;
+    next_seg_id = !next_seg_id;
+    oracle_floor = !max_ts + 1;
+    replayed = !replayed;
+  }

@@ -1,0 +1,50 @@
+(** Log analysis for restart recovery — and the independent oracle the
+    post-recovery invariants check the engine against.
+
+    {!analyze} scans the surviving frames in LSN order, decoding and
+    CRC-verifying each, and truncates at the first bad frame: a torn or
+    bit-flipped record ends the trustworthy prefix. {!expect} then folds
+    checkpoint + redo into the {e expected} post-recovery state:
+    transaction outcomes, losers to roll back, the committed in-row
+    image, and the surviving off-row segments with their contents.
+
+    The engine's restart path and the {!Invariant} checker both consume
+    this module — the engine with its configured knobs (including the
+    [skip_tail_check] sabotage), the checker always honestly — which is
+    what makes an unsound recovery provably catchable. *)
+
+type analysis = {
+  records : Wal_record.t list;  (** Decoded trustworthy prefix, LSN order. *)
+  survivors : int;
+  truncate_lsn : int;  (** LSN of the last trustworthy frame (0 if none). *)
+  dropped : int;  (** Frames rejected at the tail. *)
+  checkpoint : (int * Checkpoint.t) option;
+      (** Last complete checkpoint in the prefix, with its [Ckpt_end] LSN. *)
+}
+
+val analyze : ?check_crc:bool -> Wal.t -> analysis
+(** [~check_crc:false] is the sabotage knob: frames are still parsed but
+    checksums are ignored, so a fabricated torn tail gets replayed. *)
+
+type seg_build = {
+  seg_id : int;
+  cls : string;
+  hardened : bool;
+  versions : Checkpoint.seg_version list;  (** Relocation order. *)
+}
+
+type expectation = {
+  committed : (int * int) list;
+      (** [(tid, cts)], sorted — the checkpoint window, redo outcomes,
+          and the creators of recovered rows. *)
+  aborted : (int * int) list;
+  losers : int list;  (** Began, no durable outcome: must be rolled back. *)
+  rows : Checkpoint.row list;  (** Expected in-row image, sorted by rid. *)
+  segments : seg_build list;  (** Surviving segments, sorted by id. *)
+  dead_segs : int list;  (** Dropped or cut — must not be resurrected. *)
+  next_seg_id : int;
+  oracle_floor : int;  (** Timestamp oracle must resume at or above this. *)
+  replayed : int;  (** Redo records applied past the checkpoint. *)
+}
+
+val expect : analysis -> expectation

@@ -20,3 +20,8 @@ let commit_ts_of t tid =
   | Some (Aborted_at _) | None -> None
 
 let finished t = Hashtbl.length t.table
+let reset t = Hashtbl.reset t.table
+
+let entries t =
+  Hashtbl.fold (fun tid status acc -> (tid, status) :: acc) t.table []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

@@ -23,3 +23,11 @@ val commit_ts_of : t -> Timestamp.t -> Timestamp.t option
 
 val finished : t -> int
 (** Number of transactions with a recorded status. *)
+
+val reset : t -> unit
+(** Forget everything — the restart path rebuilds the log from the
+    recovered WAL rather than trusting lost in-memory state. *)
+
+val entries : t -> (Timestamp.t * status) list
+(** All recorded outcomes, sorted by begin timestamp — checkpointing
+    snapshots (a window of) these. *)

@@ -12,3 +12,4 @@ let next o =
   v
 
 let current o = o.counter
+let advance_to o floor = if floor > o.counter then o.counter <- floor

@@ -22,3 +22,8 @@ val next : oracle -> t
 val current : oracle -> t
 (** The value the next call to [next] will return — the reproduction's
     proxy for the paper's current time [C^T]. *)
+
+val advance_to : oracle -> t -> unit
+(** Ratchet the oracle so the next timestamp is at least [floor] — the
+    restart path uses it to jump past every timestamp in the recovered
+    log (monotonicity must survive a crash). Never moves backwards. *)

@@ -74,6 +74,34 @@ let abort t (txn : Txn.t) ~now =
   Metrics.bump "txn.aborts"
 
 
+let crash_recover t ~committed ~aborted ~losers ~oracle_floor =
+  (* Lost memory is not consulted: the live table is wiped and the
+     commit log rebuilt from what the recovered WAL proves. *)
+  Hashtbl.reset t.live;
+  Commit_log.reset t.log;
+  let restore status (tid, ts) =
+    (* First outcome wins: a sabotaged replay can fabricate conflicting
+       outcomes, and recovery must degrade into a state the invariant
+       checker can inspect rather than raise. *)
+    if Commit_log.status t.log tid = None then Commit_log.record t.log ~tid (status ts)
+  in
+  List.iter (restore (fun ts -> Commit_log.Committed_at ts)) committed;
+  List.iter (restore (fun ts -> Commit_log.Aborted_at ts)) aborted;
+  Timestamp.advance_to t.ts_oracle oracle_floor;
+  (* Losers: began, no durable outcome — rolled back with a fresh abort
+     timestamp, returned so the engine can log the compensating abort
+     records. *)
+  List.filter_map
+    (fun tid ->
+      if Commit_log.status t.log tid = None then begin
+        let ats = Timestamp.next t.ts_oracle in
+        Commit_log.record t.log ~tid (Commit_log.Aborted_at ats);
+        t.aborted <- t.aborted + 1;
+        Some (tid, ats)
+      end
+      else None)
+    losers
+
 let commit_log t = t.log
 let live_count t = Hashtbl.length t.live
 

@@ -18,6 +18,20 @@ val commit : t -> Txn.t -> now:Clock.time -> unit
     transaction is not active. *)
 
 val abort : t -> Txn.t -> now:Clock.time -> unit
+
+val crash_recover :
+  t ->
+  committed:(Timestamp.t * Timestamp.t) list ->
+  aborted:(Timestamp.t * Timestamp.t) list ->
+  losers:Timestamp.t list ->
+  oracle_floor:Timestamp.t ->
+  (Timestamp.t * Timestamp.t) list
+(** Restart path: wipe the live table, rebuild the commit log from the
+    recovered outcomes, ratchet the oracle past every recovered
+    timestamp, then roll back each loser by recording an abort at a
+    fresh timestamp. Returns the [(tid, abort_ts)] pairs so the caller
+    can write the compensating abort records to the log. *)
+
 val commit_log : t -> Commit_log.t
 val live_count : t -> int
 val live_begin_ts : t -> Timestamp.t list

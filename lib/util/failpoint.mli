@@ -15,6 +15,13 @@
 
 type decision = [ `Pass | `Fail ]
 
+val well_known : string list
+(** The fail-point sites compiled into the pipeline: ["vsorter.flush"]
+    (segment flush to the version store), ["wal.append"] (log-device
+    write, byte-accounting and typed-record paths alike), and
+    ["wal.fsync"] (durability-frontier advance). Arming any other name
+    is legal but will never fire. *)
+
 val arm : string -> (unit -> decision) -> unit
 (** [arm name handler] routes subsequent {!check name} calls through
     [handler], replacing any previous handler for [name]. *)

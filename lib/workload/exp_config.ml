@@ -13,6 +13,7 @@ type t = {
   llts : llt_spec list;
   gc_period : Clock.time;
   sample_period_s : float;
+  ckpt_period_s : float;
 }
 
 let default =
@@ -28,6 +29,7 @@ let default =
     llts = [];
     gc_period = Clock.ms 10;
     sample_period_s = 1.0;
+    ckpt_period_s = 0.25;
   }
 
 let pattern_at t s =

@@ -23,6 +23,10 @@ type t = {
   llts : llt_spec list;
   gc_period : Clock.time;  (** background vacuum/purge/vCutter cadence *)
   sample_period_s : float;
+  ckpt_period_s : float;
+      (** fuzzy-checkpoint cadence for durable engines; the checkpointer
+          process only exists when the engine exposes one, so the knob
+          is inert (and the run unchanged) otherwise *)
 }
 
 val default : t

@@ -19,6 +19,8 @@ type result = {
   retries : int;
   give_ups : int;
   sheds : int;
+  crashes : int;
+  recoveries : Engine.restart_info list;
 }
 
 let run ~engine ?faults (cfg : Exp_config.t) =
@@ -39,6 +41,16 @@ let run ~engine ?faults (cfg : Exp_config.t) =
      The fault injector uses them for [Abort_txn] and to roll every
      in-flight loser back before a [Crash]. *)
   let abort_slots : (Clock.time -> bool) Vec.t = Vec.create () in
+  (* Power-loss kill switches: drop the in-flight transaction from the
+     workload WITHOUT an engine abort. A crash's in-flight transactions
+     must reach the log as losers — aborting them through the engine
+     would write Txn_abort records and durably decide outcomes the
+     crash is supposed to leave undecided. The owning process then
+     re-enters its killed/backoff path exactly as after a forced
+     abort. *)
+  let drop_slots : (Clock.time -> unit) Vec.t = Vec.create () in
+  let crashes = ref 0 in
+  let recoveries = ref [] in
   (* Tid-targeted kill switches for the governor's snapshot-too-old
      policy: entries live exactly while the transaction is in flight, so
      the shed hook rolls the victim back through the engine (undoing its
@@ -99,6 +111,15 @@ let run ~engine ?faults (cfg : Exp_config.t) =
       | None -> false
     in
     Vec.push abort_slots kill;
+    Vec.push drop_slots (fun now ->
+        match !pending with
+        | Some txn ->
+            pending := None;
+            killed := true;
+            Hashtbl.remove shed_tbl txn.Txn.tid;
+            if Trace.on () then
+              Trace.instant Trace.Txn "crash-lost" ~at:now [ ("tid", Trace.I txn.Txn.tid) ]
+        | None -> ());
     let begin_txn now =
       let txn, t = eng.Engine.begin_txn ~now in
       pending := Some txn;
@@ -191,6 +212,16 @@ let run ~engine ?faults (cfg : Exp_config.t) =
           | None -> false
         in
         Vec.push abort_slots kill;
+        Vec.push drop_slots (fun now ->
+            match !state with
+            | Some txn ->
+                state := None;
+                killed := true;
+                Hashtbl.remove shed_tbl txn.Txn.tid;
+                if Trace.on () then
+                  Trace.instant Trace.Txn "llt-crash-lost" ~at:now
+                    [ ("tid", Trace.I txn.Txn.tid) ]
+            | None -> ());
         let llt_end = Clock.seconds (start_s +. duration_s) in
         Scheduler.spawn sched
           ~name:(Printf.sprintf "llt-%d-%d" gi li)
@@ -260,6 +291,16 @@ let run ~engine ?faults (cfg : Exp_config.t) =
         in
         Scheduler.Sleep_until (max t (now + period))
       end);
+  (* Fuzzy checkpointer: exists only for durable engines, so non-durable
+     runs keep the exact process set (and scheduler order) of the
+     seed. *)
+  (match eng.Engine.checkpoint with
+  | Some ckpt when cfg.Exp_config.ckpt_period_s > 0. ->
+      let period = max 1 (Clock.seconds cfg.Exp_config.ckpt_period_s) in
+      Scheduler.spawn sched ~name:"checkpointer" ~at:period (fun now ->
+          ckpt ~now;
+          if now >= horizon then Scheduler.Finished else Scheduler.Sleep_until (now + period))
+  | _ -> ());
   (* Metrics sampler. *)
   let space_series = Series.create "space" in
   let redo_series = Series.create "redo" in
@@ -301,6 +342,65 @@ let run ~engine ?faults (cfg : Exp_config.t) =
          [master_rng]: a plan that injects nothing must leave the
          workload's random stream untouched. *)
       let victim_rng = Rng.create (Fault_plan.seed plan lxor 0x7fabc0de) in
+      let engine_wal () =
+        match eng.Engine.driver with
+        | Some d -> (
+            match d.State.wal with
+            | Some wal when Wal.is_durable wal -> Some wal
+            | _ -> None)
+        | None -> None
+      in
+      (* Power loss + ARIES-lite restart, for durable engines. [keep] is
+         the device's survival point: frames beyond it are gone. With
+         [torn_tail] a fabricated commit frame with a stale checksum is
+         appended — honest recovery truncates it; a recovery running
+         with [recovery_skip_tail_check] replays it and is caught by
+         the post-recovery invariants. *)
+      let do_crash_restart wal restart ~keep ~now =
+        incr crashes;
+        Fault_report.note_fault report "crash-restart";
+        if Trace.on () then
+          Trace.instant Trace.Fault "crash-restart" ~at:now
+            [ ("keep_lsn", Trace.I keep) ];
+        Vec.iter (fun drop -> drop now) drop_slots;
+        Wal.crash wal ~keep_lsn:keep;
+        if Fault_plan.torn_tail plan then begin
+          (* The torn sector always holds a semantically dangerous
+             record: a commit for a transaction the surviving prefix
+             says is still undecided (or, with no loser available, for
+             a timestamp the log never handed out). *)
+          let exp = Wal_recovery.expect (Wal_recovery.analyze wal) in
+          let tid, cts =
+            match exp.Wal_recovery.losers with
+            | tid :: _ -> (tid, exp.Wal_recovery.oracle_floor + 1)
+            | [] ->
+                ( exp.Wal_recovery.oracle_floor + 999983,
+                  exp.Wal_recovery.oracle_floor + 999984 )
+          in
+          let frame =
+            Wal_record.encode_with_bad_crc
+              {
+                Wal_record.lsn = Wal.next_lsn wal;
+                at = now;
+                payload = Wal_record.Txn_commit { tid; cts };
+              }
+          in
+          ignore (Wal.inject_raw wal frame);
+          Fault_report.note_fault report "torn-tail"
+        end;
+        let info = restart ~now in
+        recoveries := info :: !recoveries;
+        (match eng.Engine.driver with
+        | Some d -> record_all ~at:now (Invariant.check_post_recovery d)
+        | None -> ());
+        if Trace.on () then
+          Trace.instant Trace.Fault "recovered" ~at:now
+            [
+              ("replayed", Trace.I info.Engine.replayed_records);
+              ("truncated", Trace.I info.Engine.truncated_frames);
+              ("losers", Trace.I info.Engine.losers_rolled_back);
+            ]
+      in
       let apply action ~now =
         Fault_report.note_fault report (Fault_plan.action_name action);
         if Trace.on () then
@@ -316,17 +416,47 @@ let run ~engine ?faults (cfg : Exp_config.t) =
               in
               try_slot 0
             end
-        | Fault_plan.Crash ->
-            (* §3.5: every in-flight transaction is a loser. Roll them
-               back through the engine's abort path, then run crash
-               recovery and immediately assert the Figure 10b
-               post-conditions. *)
-            Vec.iter (fun slot -> ignore (slot now)) abort_slots;
-            ignore (eng.Engine.crash ());
-            (match eng.Engine.driver with
-            | Some d -> record_all ~at:now (Invariant.check_post_crash d)
-            | None -> ())
-        | Fault_plan.Wal_error -> Failpoint.arm_fail_n "wal.append" 16
+        | Fault_plan.Crash -> (
+            match (engine_wal (), eng.Engine.restart) with
+            | Some wal, Some restart ->
+                (* Durable engine: a Poisson crash is a power loss at
+                   the durability frontier — unfsynced frames are
+                   gone — followed by restart replay. *)
+                do_crash_restart wal restart ~keep:(Wal.flushed_lsn wal) ~now
+            | _ ->
+                (* §3.5: every in-flight transaction is a loser. Roll
+                   them back through the engine's abort path, then run
+                   crash recovery and immediately assert the Figure 10b
+                   post-conditions. *)
+                Vec.iter (fun slot -> ignore (slot now)) abort_slots;
+                ignore (eng.Engine.crash ());
+                (match eng.Engine.driver with
+                | Some d -> record_all ~at:now (Invariant.check_post_crash d)
+                | None -> ()))
+        | Fault_plan.Wal_bitflip -> (
+            match engine_wal () with
+            | Some wal when Wal.max_lsn wal > Wal.bootstrap_lsn ->
+                let lo = Wal.bootstrap_lsn + 1 in
+                let lsn = lo + Rng.int victim_rng (Wal.max_lsn wal - lo + 1) in
+                let flipped =
+                  Wal.corrupt_frame wal ~lsn (fun s ->
+                      if String.length s = 0 then s
+                      else begin
+                        let b = Bytes.of_string s in
+                        let i = Rng.int victim_rng (Bytes.length b) in
+                        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x10));
+                        Bytes.to_string b
+                      end)
+                in
+                if flipped && Trace.on () then
+                  Trace.instant Trace.Fault "wal-bitflip" ~at:now [ ("lsn", Trace.I lsn) ]
+            | _ -> ())
+        | Fault_plan.Wal_error ->
+            Failpoint.arm_fail_n "wal.append" 16;
+            (* the simulated log device rejects syncs along with
+               appends; harmless (never consulted) for engines that
+               do not fsync *)
+            Failpoint.arm_fail_n "wal.fsync" 4
         | Fault_plan.Flush_fail -> Failpoint.arm_fail_n "vsorter.flush" 4
         | Fault_plan.Evict_storm -> (
             match eng.Engine.driver with
@@ -353,7 +483,20 @@ let run ~engine ?faults (cfg : Exp_config.t) =
             if !conflicted then ignore (eng.Engine.abort txn ~now)
             else ignore (eng.Engine.commit txn ~now)
       in
+      (* Crash-point schedule: power loss the first time the log's
+         highest LSN reaches each point, checked at every dispatch
+         boundary — deterministic in WAL position, independent of
+         simulated time. *)
+      let crash_points = ref (Fault_plan.crash_points plan) in
       Scheduler.set_probe sched (fun ~name:_ ~now ->
+          (match !crash_points with
+          | p :: rest -> (
+              match (engine_wal (), eng.Engine.restart) with
+              | Some wal, Some restart when Wal.max_lsn wal >= p ->
+                  crash_points := rest;
+                  do_crash_restart wal restart ~keep:(min p (Wal.max_lsn wal)) ~now
+              | _ -> ())
+          | [] -> ());
           List.iter (fun action -> apply action ~now) (Fault_plan.poll plan ~now)));
   (* Under an unsound rule (e.g. a sabotaged zone test) the engine can
      fail outright — a snapshot read landing on a pruned version. During
@@ -387,6 +530,19 @@ let run ~engine ?faults (cfg : Exp_config.t) =
   Fault_report.set_gauge report "retries" !retries;
   Fault_report.set_gauge report "give-ups" !give_ups;
   Fault_report.set_gauge report "sheds" sheds;
+  if !crashes > 0 then begin
+    Fault_report.set_gauge report "crash-restarts" !crashes;
+    Fault_report.set_gauge report "records-replayed"
+      (List.fold_left (fun acc (i : Engine.restart_info) -> acc + i.Engine.replayed_records)
+         0 !recoveries);
+    Fault_report.set_gauge report "frames-truncated"
+      (List.fold_left (fun acc (i : Engine.restart_info) -> acc + i.Engine.truncated_frames)
+         0 !recoveries);
+    Fault_report.set_gauge report "losers-rolled-back"
+      (List.fold_left
+         (fun acc (i : Engine.restart_info) -> acc + i.Engine.losers_rolled_back)
+         0 !recoveries)
+  end;
   (* Headline gauges for the metrics snapshot (the BENCH_obs / golden
      surface): every traced run exports these whether or not the hot
      paths fed their histograms, so the schema's required keys are
@@ -447,6 +603,8 @@ let run ~engine ?faults (cfg : Exp_config.t) =
     retries = !retries;
     give_ups = !give_ups;
     sheds;
+    crashes = !crashes;
+    recoveries = List.rev !recoveries;
   }
 
 let avg_throughput r ~between:(lo, hi) =

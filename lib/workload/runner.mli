@@ -39,6 +39,12 @@ type result = {
   give_ups : int;  (** transactions abandoned after the retry budget *)
   sheds : int;
       (** victims evicted by the governor's snapshot-too-old policy *)
+  crashes : int;
+      (** durable crash-restarts taken (crash points + Poisson crashes
+          on a durable engine) *)
+  recoveries : Engine.restart_info list;
+      (** one per crash-restart, in order — replay/truncation/rollback
+          counts and the simulated recovery duration *)
 }
 
 val run : engine:(Schema.t -> Engine.t) -> ?faults:Fault_plan.t -> Exp_config.t -> result
@@ -52,6 +58,16 @@ val run : engine:(Schema.t -> Engine.t) -> ?faults:Fault_plan.t -> Exp_config.t 
     ({!Invariant.check_all}), collecting everything into
     [result.faults]. A plan that injects nothing leaves the run
     bit-identical to a run without one.
+
+    On a durable engine (one exposing [checkpoint]/[restart]) the
+    runner additionally spawns a fuzzy checkpointer at
+    [cfg.ckpt_period_s], and the plan's crash points and Poisson
+    [Crash] arrivals become full power-loss/restart-replay cycles:
+    unfsynced (or post-crash-point) frames are discarded, an optional
+    torn tail is fabricated, in-flight transactions are dropped as
+    losers (never aborted through the engine), the engine's restart
+    replays the surviving log, and {!Invariant.check_post_recovery} is
+    asserted before the workload resumes.
 
     When the engine has a vDriver, the runner installs the governor's
     shed hook (so snapshot-too-old victims are rolled back through the

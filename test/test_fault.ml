@@ -33,11 +33,11 @@ let test_plan_events_ordered () =
   check_int "events fire once" 0 (List.length (Fault_plan.poll plan ~now:(Clock.ms 100)))
 
 let test_plan_deterministic () =
-  let a = Fault_plan.random ~seed:99 and b = Fault_plan.random ~seed:99 in
+  let a = Fault_plan.random ~seed:99 () and b = Fault_plan.random ~seed:99 () in
   check_bool "same pp" true
     (Format.asprintf "%a" Fault_plan.pp a = Format.asprintf "%a" Fault_plan.pp b);
   check_bool "same injection sequence" true (drain a = drain b);
-  let c = Fault_plan.random ~seed:100 in
+  let c = Fault_plan.random ~seed:100 () in
   check_bool "different seed, different plan" true
     (Format.asprintf "%a" Fault_plan.pp a <> Format.asprintf "%a" Fault_plan.pp c)
 
@@ -310,7 +310,7 @@ let qcheck_random_plans_hold_invariants =
   QCheck.Test.make ~name:"randomized fault plans never break the invariants" ~count:4
     QCheck.(make Gen.(0 -- 10_000))
     (fun seed ->
-      let plan = Fault_plan.random ~seed in
+      let plan = Fault_plan.random ~seed () in
       let r = Runner.run ~engine:vdriver ~faults:plan (chaos_cfg ~seed ()) in
       Fault_report.checks_run r.Runner.faults > 0 && Fault_report.ok r.Runner.faults)
 
