@@ -20,6 +20,7 @@ let all : (string * (unit -> unit)) list =
     ("fig19", Fig19.run);
     ("ablation", Ablation.run);
     ("recovery", Recovery.run);
+    ("liveness", Liveness.run);
     ("micro", Micro.run);
     ("obs", Obs_point.run);
   ]

@@ -31,7 +31,21 @@
    `--skip-tail-check` is the recovery sabotage: restart replays the
    log tail without CRC verification, so a torn tail gets replayed as
    if durable — the post-recovery invariants must catch the divergence
-   (a clean exit is a harness bug). *)
+   (a clean exit is a harness bug).
+
+   `--stalls` draws cleaner-stall and collab-delay rates into the plan
+   (the cleaning loop hangs for 150-600 ms at a time) and arms the
+   liveness watchdog; `--zombie-llts` additionally draws LLT-zombie
+   injections (a driver that stops issuing operations but keeps its
+   snapshot). With the watchdog on, the campaign must stay within the
+   computable reclamation-lag bound (0 violations). `--no-watchdog` is
+   the liveness sabotage: leases, beats and the lag monitor still
+   observe, but the ladder never acts — the reclamation-lag invariant
+   must then flag the stall (a clean exit is a harness bug).
+   `--require-containment` makes a clean exit additionally require
+   that the injected pressure was really exercised: at least one
+   escalation under `--stalls`, at least one zombie cancel under
+   `--zombie-llts`. *)
 
 open Cmdliner
 
@@ -63,7 +77,8 @@ let campaign_config ~seed ~duration =
   }
 
 let run_campaigns (ename, engine) seed campaigns duration sabotage quota quota_sabotage
-    require_shed crash_points ckpt_ms skip_tail_check trace_out metrics_out =
+    require_shed crash_points ckpt_ms skip_tail_check stalls zombie_llts no_watchdog
+    require_containment trace_out metrics_out =
   let governor =
     if quota <= 0 then Governor.default_config
     else { (Governor.governed ~quota_bytes:quota) with Governor.quota_ignore_sabotage = quota_sabotage }
@@ -83,13 +98,38 @@ let run_campaigns (ename, engine) seed campaigns duration sabotage quota quota_s
     let rng = Rng.create seed in
     List.init campaigns (fun _ -> Int64.to_int (Rng.next_int64 rng) land 0x3fffffff)
   in
-  Printf.printf "chaos: engine=%s seed=%d campaigns=%d duration=%.1fs sabotage=%d quota=%d%s%s%s\n"
+  let liveness = stalls || zombie_llts || no_watchdog in
+  let wdog =
+    if not liveness then None
+    else
+      Some
+        {
+          Watchdog.default_config with
+          Watchdog.enabled = not no_watchdog;
+          check_period = Clock.ms 5;
+          stall_timeout = Clock.ms 20;
+          escalation_cooldown = Clock.ms 10;
+        }
+  in
+  Printf.printf
+    "chaos: engine=%s seed=%d campaigns=%d duration=%.1fs sabotage=%d quota=%d%s%s%s%s%s%s\n"
     ename seed campaigns duration sabotage quota
     (if quota_sabotage then " quota-sabotage" else "")
     (if crash_points > 0 then Printf.sprintf " crash-points=%d" crash_points else "")
-    (if skip_tail_check then " skip-tail-check" else "");
+    (if skip_tail_check then " skip-tail-check" else "")
+    (if stalls then " stalls" else "")
+    (if zombie_llts then " zombie-llts" else "")
+    (if no_watchdog then " no-watchdog" else "");
+  (match wdog with
+  | Some w ->
+      Printf.printf "chaos: liveness lag bound L=%dus (watchdog %s)\n"
+        (Watchdog.lag_bound w ~gc_period:Exp_config.default.Exp_config.gc_period / 1000)
+        (if w.Watchdog.enabled then "on" else "OFF — sabotage")
+  | None -> ());
   let total_violations = ref 0 in
   let shed_recoveries = ref 0 in
+  let total_escalations = ref 0 in
+  let total_zombie_cancels = ref 0 in
   let horizon = Clock.seconds duration in
   (* One obs scope spans all campaigns: the trace shows the campaigns
      back to back and the metrics snapshot aggregates them. The exports
@@ -114,14 +154,14 @@ let run_campaigns (ename, engine) seed campaigns duration sabotage quota quota_s
         end
       in
       let plan =
-        Fault_plan.random ~crash_points:points ~torn_tail:(points <> [])
-          ~seed:campaign_seed ()
+        Fault_plan.random ~crash_points:points ~torn_tail:(points <> []) ~stalls
+          ~zombies:zombie_llts ~seed:campaign_seed ()
       in
       let cfg =
         { (campaign_config ~seed:campaign_seed ~duration) with
           Exp_config.ckpt_period_s = float_of_int ckpt_ms /. 1000. }
       in
-      let r = Runner.run ~engine:(engine driver_config) ~faults:plan cfg in
+      let r = Runner.run ~engine:(engine driver_config) ~faults:plan ?watchdog:wdog cfg in
       total_violations := !total_violations + Fault_report.violation_count r.Runner.faults;
       Format.printf "@[<v>campaign %d seed=%d plan: %a@ commits=%d conflicts=%d@ %a@]@." i
         campaign_seed Fault_plan.pp plan r.Runner.commits r.Runner.conflicts Fault_report.pp
@@ -135,6 +175,15 @@ let run_campaigns (ename, engine) seed campaigns duration sabotage quota quota_s
           (sum (fun (x : Engine.restart_info) -> x.Engine.replayed_versions))
           (sum (fun (x : Engine.restart_info) -> x.Engine.truncated_frames))
           (sum (fun (x : Engine.restart_info) -> x.Engine.losers_rolled_back))
+      end;
+      if liveness then begin
+        total_escalations := !total_escalations + r.Runner.watchdog_escalations;
+        total_zombie_cancels := !total_zombie_cancels + r.Runner.zombie_cancels;
+        Format.printf
+          "campaign %d liveness: escalations=%d zombie-cancels=%d max-lag-us=%d lag-samples=%d@."
+          i r.Runner.watchdog_escalations r.Runner.zombie_cancels
+          (r.Runner.max_reclamation_lag / 1000)
+          (Histogram.total r.Runner.reclamation_lag_us)
       end;
       match r.Runner.driver with
       | Some d when quota > 0 ->
@@ -153,10 +202,24 @@ let run_campaigns (ename, engine) seed campaigns duration sabotage quota quota_s
   Printf.printf "chaos: %d campaign(s), %d violation(s)\n" campaigns !total_violations;
   if require_shed then
     Printf.printf "chaos: %d campaign(s) shed and recovered to normal\n" !shed_recoveries;
+  if liveness then
+    Printf.printf "chaos: liveness totals: escalations=%d zombie-cancels=%d\n"
+      !total_escalations !total_zombie_cancels;
   if !total_violations > 0 then exit 1;
   if require_shed && !shed_recoveries = 0 then begin
     Printf.printf "chaos: FAIL --require-shed: no campaign reached Shedding and recovered\n";
     exit 1
+  end;
+  if require_containment then begin
+    if stalls && !total_escalations = 0 then begin
+      Printf.printf "chaos: FAIL --require-containment: --stalls injected but no escalation\n";
+      exit 1
+    end;
+    if zombie_llts && !total_zombie_cancels = 0 then begin
+      Printf.printf
+        "chaos: FAIL --require-containment: --zombie-llts injected but no zombie cancel\n";
+      exit 1
+    end
   end
 
 let cmd =
@@ -233,6 +296,42 @@ let cmd =
              must catch the divergence (a clean exit is a harness bug). Implies the durable \
              WAL.")
   in
+  let stalls =
+    Arg.(
+      value & flag
+      & info [ "stalls" ]
+          ~doc:
+            "Draw cleaner-stall and collab-delay rates into the fault plan (the cleaning loop \
+             hangs for 150-600 ms at a time) and arm the liveness watchdog; the campaign must \
+             stay within the computable reclamation-lag bound.")
+  in
+  let zombie_llts =
+    Arg.(
+      value & flag
+      & info [ "zombie-llts" ]
+          ~doc:
+            "Draw LLT-zombie injections (a driver that stops issuing operations but keeps its \
+             snapshot pinned) and arm the liveness watchdog; harmful zombies must be shed \
+             through the lease path.")
+  in
+  let no_watchdog =
+    Arg.(
+      value & flag
+      & info [ "no-watchdog" ]
+          ~doc:
+            "Liveness sabotage: keep leases, heartbeats and the reclamation-lag monitor \
+             observing, but never let the watchdog ladder act. Under --stalls the \
+             reclamation-lag invariant must then flag the hang (a clean exit is a harness \
+             bug).")
+  in
+  let require_containment =
+    Arg.(
+      value & flag
+      & info [ "require-containment" ]
+          ~doc:
+            "Fail unless the liveness pressure was really exercised: at least one watchdog \
+             escalation under --stalls, at least one zombie cancel under --zombie-llts.")
+  in
   let trace_out =
     Arg.(
       value
@@ -254,6 +353,6 @@ let cmd =
     Term.(
       const run_campaigns $ engine $ seed $ campaigns $ duration $ sabotage $ quota
       $ quota_sabotage $ require_shed $ crash_points $ ckpt_ms $ skip_tail_check
-      $ trace_out $ metrics_out)
+      $ stalls $ zombie_llts $ no_watchdog $ require_containment $ trace_out $ metrics_out)
 
 let () = exit (Cmd.eval cmd)

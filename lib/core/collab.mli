@@ -24,16 +24,55 @@ val create : unit -> t
     that vCutter wants to delete while an insertion into the same chain
     may be in flight. Create a fresh instance per episode. *)
 
-val sorter : t -> delete:(unit -> unit) -> insert:(unit -> unit) -> [ `Did_both | `Inserted_after_cutter ]
+val default_spin_budget : int
+(** 4096 busy iterations before the losing sorter falls back to
+    yielding. *)
+
+val sorter :
+  ?spin_budget:int ->
+  ?yield:(unit -> unit) ->
+  t ->
+  delete:(unit -> unit) ->
+  insert:(unit -> unit) ->
+  [ `Did_both | `Inserted_after_cutter ]
 (** vSorter's side: race for the flag; run [delete] only on a win; run
     [insert] in all cases (after the cutter finished, on a loss). The
-    flag is released afterwards so the chain can host later races. *)
+    flag is released afterwards so the chain can host later races.
 
-val cutter : t -> delete:(unit -> unit) -> fixup:(unit -> unit) -> [ `Won | `Lost ]
+    The losing sorter's wait is {e bounded}: it busy-spins
+    ([Domain.cpu_relax]) for at most [spin_budget] iterations, then
+    calls [yield] once per further iteration — pass the hosting
+    scheduler's yield so a cutter delayed inside its critical window
+    (the [Collab_delay] fault) degrades to cooperative waiting instead
+    of livelocking the domain. [yield] defaults to [Domain.cpu_relax]
+    when the caller has nothing better. *)
+
+val cutter :
+  ?delay:(unit -> unit) ->
+  t ->
+  delete:(unit -> unit) ->
+  fixup:(unit -> unit) ->
+  [ `Won | `Lost ]
 (** vCutter's side: on a win, delete the dead version and fix broken
     links, then publish completion; on a loss return immediately —
     the sorter took over the deletion (vCutter must not block, it is
-    "battling with numerous foreground transactions"). *)
+    "battling with numerous foreground transactions"). [delay] is the
+    fault-injection hook: it runs {e between} the fixup and the
+    completion mark, exactly the window that forces long sorter
+    waits. *)
 
 val races_lost_by_sorter : t -> int
 (** How often the sorter had to spin-wait (observability for tests). *)
+
+val last_spin_count : t -> int
+(** Iterations the sorter waited in this episode (0 if it won). *)
+
+val max_spin_observed : unit -> int
+(** Longest sorter wait seen by any episode since the last
+    {!reset_spin_stats} — the satellite gauge the multi-domain stress
+    asserts against. *)
+
+val yields_observed : unit -> int
+(** Wait iterations that fell back to yielding (budget exhausted). *)
+
+val reset_spin_stats : unit -> unit

@@ -105,6 +105,9 @@ let maintain t ~now =
     Governor.note_headroom g ~now ~space_bytes:space;
     t.State.post_maintain_space <- Some (now, space)
   end;
+  (match t.State.watchdog with
+  | Some w -> Watchdog.beat w "governor" ~now
+  | None -> ());
   Metrics.bump "driver.maintains";
   if Trace.on () then begin
     let swept, cut = !acc in
@@ -133,6 +136,32 @@ let relocate t version ~now =
     end
   end;
   outcome
+
+(* Zombie-pinning test for the watchdog's shed rung: is [tid] the pin
+   on otherwise-dead versions? True when some sealed or hardened
+   segment's descriptor interval is dead per Definition 3.3 over the
+   live table with [tid] removed, but not with [tid] present. Pure: the
+   zone snapshot and the store are read, never touched. *)
+let pins_dead_interval (t : t) ~tid =
+  let live = Txn_manager.live_begin_ts t.State.txns in
+  let live_without = List.filter (fun b -> b <> tid) live in
+  if List.length live_without = List.length live then false
+  else begin
+    let pins = ref false in
+    let consider seg =
+      if (not !pins) && Segment.live_count seg > 0 then begin
+        let _, vmin, vmax = Segment.descriptor seg in
+        if
+          vmin < vmax
+          && Prune.dead_spec ~live:live_without ~vs:vmin ~ve:vmax
+          && not (Prune.dead_spec ~live ~vs:vmin ~ve:vmax)
+        then pins := true
+      end
+    in
+    Vec.iter consider t.State.sealed;
+    Version_store.iter_hardened t.State.store consider;
+    !pins
+  end
 
 type read_source = From_vbuffer | From_store_cached | From_store_io
 

@@ -63,6 +63,13 @@ val abort_cleanup : t -> unit
 (** Transaction abort leaves version segments and the LLB unaffected
     (§3.5, Figure 10a) — provided for symmetry and assertion hooks. *)
 
+val pins_dead_interval : t -> tid:Timestamp.t -> bool
+(** Zombie-pinning test for the watchdog's shed rung: does the live
+    transaction whose begin timestamp is [tid] pin otherwise-dead
+    versions? True when some sealed or hardened segment's descriptor
+    interval is dead (Definition 3.3) over the live table with [tid]
+    removed, but not with [tid] present. Read-only. *)
+
 val crash_restart : t -> unit
 (** Crash recovery: every off-row version predates the restart and no
     new transaction can request it, so vBuffer, LLB and the version

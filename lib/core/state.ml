@@ -53,6 +53,7 @@ type t = {
   mutable post_maintain_space : (Clock.time * int) option;
   mutable wal : Wal.t option;
   mutable inrow_probe : (unit -> (int * int * Timestamp.t) list) option;
+  mutable watchdog : Watchdog.t option;
 }
 
 let create ?(config = default_config) txns =
@@ -80,6 +81,7 @@ let create ?(config = default_config) txns =
     post_maintain_space = None;
     wal = None;
     inrow_probe = None;
+    watchdog = None;
   }
 
 (* The pruning policy, shared by vSorter (per-version and per-sealed-

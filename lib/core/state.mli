@@ -89,6 +89,13 @@ type t = {
           as [(rid, payload, vs)], sorted by rid — what the
           post-recovery durability invariant compares against the log
           oracle without the fault library depending on the engines. *)
+  mutable watchdog : Watchdog.t option;
+      (** installed by the workload runner when the liveness watchdog is
+          armed: {!Vsorter.sweep}, {!Vcutter.step} and
+          {!Driver.maintain} post their progress beats here, and the
+          invariant sweep replays its ladder honesty. [None] (the
+          default) keeps every pipeline path beat-free and runs
+          bit-identical to the seed. *)
 }
 
 val create : ?config:config -> Txn_manager.t -> t

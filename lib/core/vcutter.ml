@@ -75,6 +75,9 @@ let step (st : State.t) ~now ~max_segments =
       { segments_cut = 0; versions_cut = 0; bytes_reclaimed = 0; segments_scanned = !scanned }
       max_segments candidates
   in
+  (match st.State.watchdog with
+  | Some w -> Watchdog.beat w "vcutter" ~now
+  | None -> ());
   Metrics.bump_by "vcutter.segments_scanned" r.segments_scanned;
   Metrics.bump_by "vcutter.segments_cut" r.segments_cut;
   Metrics.bump_by "vcutter.versions_cut" r.versions_cut;

@@ -91,6 +91,9 @@ let sweep (st : State.t) ~now =
     end
   in
   relieve ();
+  (match st.State.watchdog with
+  | Some w -> Watchdog.beat w "vsorter" ~now
+  | None -> ());
   let r = !result in
   Metrics.bump_by "vsorter.segments_dropped" r.segments_dropped;
   Metrics.bump_by "vsorter.prune2" r.versions_pruned;

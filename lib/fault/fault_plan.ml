@@ -6,6 +6,9 @@ type action =
   | Evict_storm
   | Space_storm
   | Wal_bitflip
+  | Cleaner_stall
+  | Llt_zombie
+  | Collab_delay
 
 let action_name = function
   | Crash -> "crash"
@@ -15,9 +18,23 @@ let action_name = function
   | Evict_storm -> "evict-storm"
   | Space_storm -> "space-storm"
   | Wal_bitflip -> "wal-bitflip"
+  | Cleaner_stall -> "cleaner-stall"
+  | Llt_zombie -> "llt-zombie"
+  | Collab_delay -> "collab-delay"
 
 let all_actions =
-  [ Crash; Abort_txn; Wal_error; Flush_fail; Evict_storm; Space_storm; Wal_bitflip ]
+  [
+    Crash;
+    Abort_txn;
+    Wal_error;
+    Flush_fail;
+    Evict_storm;
+    Space_storm;
+    Wal_bitflip;
+    Cleaner_stall;
+    Llt_zombie;
+    Collab_delay;
+  ]
 
 type event = { at : Clock.time; action : action }
 
@@ -60,11 +77,13 @@ let make_process ~seed action rate =
 
 let create ?(seed = 0) ?(events = []) ?(crash_rate = 0.) ?(abort_rate = 0.)
     ?(wal_error_rate = 0.) ?(flush_fail_rate = 0.) ?(evict_storm_rate = 0.)
-    ?(space_storm_rate = 0.) ?(wal_bitflip_rate = 0.) ?(crash_points = [])
+    ?(space_storm_rate = 0.) ?(wal_bitflip_rate = 0.) ?(cleaner_stall_rate = 0.)
+    ?(llt_zombie_rate = 0.) ?(collab_delay_rate = 0.) ?(crash_points = [])
     ?(torn_tail = false) ?(check_period = Clock.ms 100) () =
-  (* [Wal_bitflip] is drawn last so plans that do not use it keep the
-     exact sub-seed sequence (and therefore injection times) they had
-     before it existed. *)
+  (* Newer actions are drawn strictly after the older ones so plans that
+     do not use them keep the exact sub-seed sequence (and therefore
+     injection times) they had before those actions existed: [Wal_bitflip]
+     after the original six, then the liveness trio. Append only. *)
   let rates =
     [
       (Crash, crash_rate);
@@ -74,6 +93,9 @@ let create ?(seed = 0) ?(events = []) ?(crash_rate = 0.) ?(abort_rate = 0.)
       (Evict_storm, evict_storm_rate);
       (Space_storm, space_storm_rate);
       (Wal_bitflip, wal_bitflip_rate);
+      (Cleaner_stall, cleaner_stall_rate);
+      (Llt_zombie, llt_zombie_rate);
+      (Collab_delay, collab_delay_rate);
     ]
   in
   (* Derive one independent stream per process from the plan seed. *)
@@ -97,17 +119,30 @@ let create ?(seed = 0) ?(events = []) ?(crash_rate = 0.) ?(abort_rate = 0.)
 
 let none = create ()
 
-let random ?(crash_points = []) ?(torn_tail = false) ~seed () =
+let random ?(crash_points = []) ?(torn_tail = false) ?(stalls = false)
+    ?(zombies = false) ~seed () =
   let rng = Rng.create (seed lxor 0x6661756c74) in
   (* Keep crashes rare relative to the finer-grained faults: a crash
      wipes the state the other injections are stressing. The rate draws
-     happen in this exact order regardless of the crash-point extras,
-     so plans without them are unchanged from before they existed. *)
+     happen in this exact order regardless of the crash-point extras.
+     Historically the rates were drawn inline at the [create] call site,
+     which OCaml evaluates right-to-left — so the stream order is
+     space-storm first and crash last. The explicit bindings freeze that
+     order; the gated liveness draws come strictly after, so plans
+     without [stalls]/[zombies] are unchanged from before they existed. *)
   let draw lo hi = lo +. (Rng.float rng *. (hi -. lo)) in
-  create ~seed ~crash_rate:(draw 0.05 0.3) ~abort_rate:(draw 2. 20.)
-    ~wal_error_rate:(draw 1. 10.) ~flush_fail_rate:(draw 5. 40.)
-    ~evict_storm_rate:(draw 0.5 4.) ~space_storm_rate:(draw 0.5 3.) ~crash_points
-    ~torn_tail ()
+  let space_storm_rate = draw 0.5 3. in
+  let evict_storm_rate = draw 0.5 4. in
+  let flush_fail_rate = draw 5. 40. in
+  let wal_error_rate = draw 1. 10. in
+  let abort_rate = draw 2. 20. in
+  let crash_rate = draw 0.05 0.3 in
+  let cleaner_stall_rate = if stalls then draw 0.8 2.5 else 0. in
+  let collab_delay_rate = if stalls then draw 1. 4. else 0. in
+  let llt_zombie_rate = if zombies then draw 0.5 1.5 else 0. in
+  create ~seed ~crash_rate ~abort_rate ~wal_error_rate ~flush_fail_rate
+    ~evict_storm_rate ~space_storm_rate ~cleaner_stall_rate ~llt_zombie_rate
+    ~collab_delay_rate ~crash_points ~torn_tail ()
 
 let seed t = t.plan_seed
 let check_period t = t.check_period

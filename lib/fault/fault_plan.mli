@@ -25,6 +25,18 @@ type action =
   | Wal_bitflip
       (** flip bits inside one surviving WAL frame — silent log
           corruption the next recovery's CRC pass must refuse *)
+  | Cleaner_stall
+      (** the cleaning side (vSorter/vCutter maintenance loop) stops
+          making progress for a drawn duration — the hung-GC hazard the
+          liveness watchdog exists to bound *)
+  | Llt_zombie
+      (** one in-flight LLT stops issuing operations but keeps its
+          snapshot pinned — the zombie the lease-based shed rung must
+          contain *)
+  | Collab_delay
+      (** the cutter dawdles between installing its footprint and
+          marking completion, stretching the sorter's spin-wait window
+          in the collaboration protocol *)
 
 val action_name : action -> string
 val all_actions : action list
@@ -43,6 +55,9 @@ val create :
   ?evict_storm_rate:float ->
   ?space_storm_rate:float ->
   ?wal_bitflip_rate:float ->
+  ?cleaner_stall_rate:float ->
+  ?llt_zombie_rate:float ->
+  ?collab_delay_rate:float ->
   ?crash_points:int list ->
   ?torn_tail:bool ->
   ?check_period:Clock.time ->
@@ -66,11 +81,21 @@ val none : t
     must not change the run's results — the determinism tests hold us to
     that. *)
 
-val random : ?crash_points:int list -> ?torn_tail:bool -> seed:int -> unit -> t
+val random :
+  ?crash_points:int list ->
+  ?torn_tail:bool ->
+  ?stalls:bool ->
+  ?zombies:bool ->
+  seed:int ->
+  unit ->
+  t
 (** A moderately aggressive plan derived entirely from [seed]: every
     rate is drawn from a seeded stream. Chaos campaigns use one per
     campaign. The optional crash-point schedule rides along without
-    perturbing the rate draws. *)
+    perturbing the rate draws. [stalls] additionally draws cleaner-stall
+    and collab-delay rates, [zombies] an LLT-zombie rate; both are drawn
+    strictly after the classic rates, so enabling them never perturbs
+    the classic injection times for the same seed. *)
 
 val seed : t -> int
 val check_period : t -> Clock.time

@@ -142,7 +142,119 @@ let check_governor (d : Driver.t) =
     List.rev !acc
   end
 
-let check_all d = check_chains d @ check_stats d @ check_store d @ check_governor d
+(* ------------------------------------------------------------------ *)
+(* Liveness: watchdog ladder honesty, no-false-kill, reclamation lag *)
+
+let check_watchdog (d : Driver.t) =
+  let st : State.t = d in
+  match st.State.watchdog with
+  | None -> []
+  | Some w -> List.map (fun msg -> v "watchdog-ladder" "%s" msg) (Watchdog.check_ladder w)
+
+let check_no_false_kill lease =
+  List.filter_map
+    (fun (c : Lease.cancel) ->
+      if c.Lease.c_idle <= c.Lease.c_lease then
+        Some
+          (v "no-false-kill"
+             "t%d was cancelled after only %s idle, within its %s lease — it had made progress"
+             c.Lease.c_tid
+             (Format.asprintf "%a" Clock.pp c.Lease.c_idle)
+             (Format.asprintf "%a" Clock.pp c.Lease.c_lease))
+      else None)
+    (Lease.cancels lease)
+
+(* Bounded reclamation lag: every version interval observed dead at
+   time [t] must be reclaimed by [t + bound]. Deadness is monotone —
+   the live table's begin timestamps only disappear (commit, abort,
+   shed), never reappear, so once [Zone_set.covers] accepts a segment's
+   descriptor interval it accepts it forever. That makes the
+   first-observed-dead clock sound: the segment was dead continuously
+   since then, and still being resident past the bound is a genuine
+   liveness failure, not a flicker. *)
+type lag_monitor = {
+  lm_driver : Driver.t;
+  lm_bound : Clock.time;
+  lm_first_dead : (int, Clock.time) Hashtbl.t; (* seg id -> first seen dead *)
+  mutable lm_max_lag : Clock.time; (* largest dead-resident lag observed *)
+  lm_hist : Histogram.t; (* reclaim lag in µs, one sample per segment *)
+}
+
+let lag_monitor d ~bound =
+  if bound <= 0 then invalid_arg "Invariant.lag_monitor: bound must be positive";
+  {
+    lm_driver = d;
+    lm_bound = bound;
+    lm_first_dead = Hashtbl.create 64;
+    lm_max_lag = 0;
+    lm_hist = Histogram.create ~bucket_width:50 ();
+  }
+
+let lag_bound m = m.lm_bound
+let max_lag m = m.lm_max_lag
+let lag_histogram m = m.lm_hist
+
+let check_lag m ~now =
+  let st : State.t = m.lm_driver in
+  (* Judge against the live table as it is right now, not the driver's
+     (possibly stale, conservative) zone snapshot: the bound already
+     budgets for the refresh period. *)
+  let zones = Zone_set.of_txn_manager st.State.txns in
+  let present = Hashtbl.create 64 in
+  let consider seg =
+    if Segment.live_count seg > 0 then begin
+      let _, vmin, vmax = Segment.descriptor seg in
+      if vmin < vmax && Zone_set.covers zones ~lo:vmin ~hi:vmax then
+        Hashtbl.replace present seg.Segment.id ()
+    end
+  in
+  Vec.iter consider st.State.sealed;
+  Version_store.iter_hardened st.State.store consider;
+  Hashtbl.iter
+    (fun id () ->
+      if not (Hashtbl.mem m.lm_first_dead id) then Hashtbl.replace m.lm_first_dead id now)
+    present;
+  let overdue = ref [] and reclaimed = ref [] in
+  Hashtbl.iter
+    (fun id t0 ->
+      let lag = now - t0 in
+      if Hashtbl.mem present id then begin
+        if lag > m.lm_max_lag then m.lm_max_lag <- lag;
+        if lag > m.lm_bound then overdue := (id, lag) :: !overdue
+      end
+      else
+        (* Reclaimed since the previous poll; [lag] over-counts by at
+           most one check period, which the bound's headroom absorbs. *)
+        reclaimed := (id, lag) :: !reclaimed)
+    m.lm_first_dead;
+  List.iter
+    (fun (id, lag) ->
+      Histogram.add m.lm_hist (lag / 1000);
+      if lag > m.lm_max_lag then m.lm_max_lag <- lag;
+      Hashtbl.remove m.lm_first_dead id)
+    !reclaimed;
+  List.map
+    (fun (id, lag) ->
+      v "reclamation-lag" "segment %d has been dead and unreclaimed for %s, bound is %s" id
+        (Format.asprintf "%a" Clock.pp lag)
+        (Format.asprintf "%a" Clock.pp m.lm_bound))
+    (List.sort compare !overdue)
+
+(* Settle the clocks at end of run: every segment still on a clock is
+   scored with its final residence lag so the histogram and max cover
+   the tail, without raising (the run is over; overdue segments were
+   already reported by the periodic sweep). *)
+let finish_lag m ~now =
+  Hashtbl.iter
+    (fun _ t0 ->
+      let lag = now - t0 in
+      if lag > m.lm_max_lag then m.lm_max_lag <- lag;
+      Histogram.add m.lm_hist (lag / 1000))
+    m.lm_first_dead;
+  Hashtbl.reset m.lm_first_dead
+
+let check_all d =
+  check_chains d @ check_stats d @ check_store d @ check_governor d @ check_watchdog d
 
 (* ------------------------------------------------------------------ *)
 (* §3.5 post-crash emptiness *)

@@ -46,8 +46,50 @@ val check_governor : Driver.t -> violation list
     and hysteresis-respecting ({!Governor.check_ladder}). Empty when no
     quota is configured. *)
 
+val check_watchdog : Driver.t -> violation list
+(** Liveness-ladder honesty for the installed watchdog, if any:
+    transitions adjacent, escalations only out of unhealthy polls,
+    de-escalations only out of clean ones ({!Watchdog.check_ladder}).
+    Empty when no watchdog is armed. *)
+
+val check_no_false_kill : Lease.t -> violation list
+(** The watchdog never cancels a transaction that made progress within
+    its lease: every recorded cancellation must show idle time strictly
+    beyond the lease the victim held. *)
+
+type lag_monitor
+(** Stateful monitor for the bounded-reclamation-lag guarantee: tracks,
+    per segment, the first time its descriptor interval was observed
+    dead (Definition 3.3 against the live table), and judges resident
+    segments against the configured bound. Deadness is monotone — live
+    begin timestamps only ever disappear — so the first-observed clock
+    is sound. *)
+
+val lag_monitor : Driver.t -> bound:Clock.time -> lag_monitor
+(** [bound] is the lag budget [L], typically {!Watchdog.lag_bound} of
+    the armed watchdog's config. Raises [Invalid_argument] unless
+    positive. *)
+
+val check_lag : lag_monitor -> now:Clock.time -> violation list
+(** One sweep: start clocks for newly dead segments, score reclaimed
+    ones into the lag histogram, and report a [reclamation-lag]
+    violation for every segment dead and resident past the bound. Call
+    periodically (the bound budgets one check period of slack). *)
+
+val finish_lag : lag_monitor -> now:Clock.time -> unit
+(** End-of-run settlement: fold the final residence lag of every
+    still-ticking clock into the histogram and max, then reset. *)
+
+val lag_bound : lag_monitor -> Clock.time
+val max_lag : lag_monitor -> Clock.time
+(** Largest dead-resident lag observed so far (reclaimed or not). *)
+
+val lag_histogram : lag_monitor -> Histogram.t
+(** Per-segment reclaim lags in microseconds (bucket width 50 µs). *)
+
 val check_all : Driver.t -> violation list
-(** The steady-state checks above, concatenated. *)
+(** The steady-state checks above plus {!check_watchdog},
+    concatenated. *)
 
 val check_post_crash : Driver.t -> violation list
 (** To be run immediately after a crash-restart, before any new

@@ -7,6 +7,7 @@ type track =
   | Wal
   | Engine
   | Fault
+  | Watchdog
 
 let track_name = function
   | Scheduler -> "scheduler"
@@ -17,6 +18,7 @@ let track_name = function
   | Wal -> "WAL"
   | Engine -> "engine"
   | Fault -> "fault"
+  | Watchdog -> "watchdog"
 
 let track_tid = function
   | Scheduler -> 1
@@ -27,8 +29,9 @@ let track_tid = function
   | Wal -> 6
   | Engine -> 7
   | Fault -> 8
+  | Watchdog -> 9
 
-let all_tracks = [ Scheduler; Txn; Vsorter; Vcutter; Governor; Wal; Engine; Fault ]
+let all_tracks = [ Scheduler; Txn; Vsorter; Vcutter; Governor; Wal; Engine; Fault; Watchdog ]
 
 type arg = I of int | F of float | S of string
 type kind = Span of int | Instant | Count of int

@@ -26,6 +26,7 @@ type track =
   | Wal  (** redo appends *)
   | Engine  (** engine-level events (relocations, assists) *)
   | Fault  (** injected faults *)
+  | Watchdog  (** liveness ladder transitions, sheds, lag readings *)
 
 val track_name : track -> string
 val track_tid : track -> int

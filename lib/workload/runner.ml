@@ -21,9 +21,13 @@ type result = {
   sheds : int;
   crashes : int;
   recoveries : Engine.restart_info list;
+  zombie_cancels : int;
+  watchdog_escalations : int;
+  max_reclamation_lag : Clock.time;
+  reclamation_lag_us : Histogram.t;  (* per-segment reclaim lag, 50 us buckets *)
 }
 
-let run ~engine ?faults (cfg : Exp_config.t) =
+let run ~engine ?faults ?watchdog (cfg : Exp_config.t) =
  Failpoint.with_scope @@ fun () ->
   let eng = engine cfg.Exp_config.schema in
   let sched = Scheduler.create () in
@@ -63,6 +67,46 @@ let run ~engine ?faults (cfg : Exp_config.t) =
           (fun ~tid ~now ->
             match Hashtbl.find_opt shed_tbl tid with Some kill -> kill now | None -> false)
   | None -> ());
+  (* Liveness containment, armed only when a watchdog configuration is
+     passed. The default run allocates no watchdog, grants no lease,
+     spawns no extra process and reads no extra randomness, so it stays
+     bit-identical to the seed. *)
+  let wd = Option.map (fun wcfg -> Watchdog.create ~config:wcfg ()) watchdog in
+  let liveness_armed = wd <> None in
+  let lease =
+    match wd with
+    | None -> None
+    | Some _ ->
+        (* Leases scale with the experiment: short transactions finish
+           within one scheduling step, so their lease only has to cover
+           scheduling jitter; LLTs are granted a tenth of the longest
+           declared lifetime — far beyond any healthy read gap, so only
+           a driver that genuinely stopped can expire. *)
+        let short_lease =
+          max (Clock.ms 10) (Clock.seconds (cfg.Exp_config.duration_s /. 200.))
+        in
+        let longest_llt_s =
+          List.fold_left
+            (fun acc (spec : Exp_config.llt_spec) -> Float.max acc spec.Exp_config.duration_s)
+            0. cfg.Exp_config.llts
+        in
+        let llt_lease = max (4 * short_lease) (Clock.seconds (longest_llt_s /. 10.)) in
+        Some (Lease.create ~config:{ Lease.short_lease; llt_lease } ())
+  in
+  let lease_grant ~tid ~kind ~now =
+    match lease with Some l -> Lease.grant l ~tid ~kind ~now | None -> ()
+  in
+  let lease_progress ~tid ~now =
+    match lease with Some l -> Lease.note_progress l ~tid ~now | None -> ()
+  in
+  let lease_release ~tid = match lease with Some l -> Lease.release l ~tid | None -> () in
+  (* The cleaning loop makes no progress until this instant — set by
+     [Cleaner_stall]/[Collab_delay] injections, cleared by the
+     watchdog's restart rung. 0 (never) outside stall campaigns. *)
+  let cleaner_stall_until = ref 0 in
+  (* Zombie switches, one per LLT driver: flip the LLT into a hung
+     state that keeps its snapshot but issues no further operation. *)
+  let zombie_slots : (Clock.time -> bool) Vec.t = Vec.create () in
   (* Externally-aborted transactions (forced aborts, governor sheds)
      re-execute after a bounded-exponential backoff. Each process owns a
      backoff state seeded independently of the workload streams, so a
@@ -104,6 +148,7 @@ let run ~engine ?faults (cfg : Exp_config.t) =
           pending := None;
           killed := true;
           Hashtbl.remove shed_tbl txn.Txn.tid;
+          lease_release ~tid:txn.Txn.tid;
           if Trace.on () then
             Trace.instant Trace.Txn "killed" ~at:now [ ("tid", Trace.I txn.Txn.tid) ];
           ignore (eng.Engine.abort txn ~now);
@@ -117,6 +162,7 @@ let run ~engine ?faults (cfg : Exp_config.t) =
             pending := None;
             killed := true;
             Hashtbl.remove shed_tbl txn.Txn.tid;
+            lease_release ~tid:txn.Txn.tid;
             if Trace.on () then
               Trace.instant Trace.Txn "crash-lost" ~at:now [ ("tid", Trace.I txn.Txn.tid) ]
         | None -> ());
@@ -124,6 +170,7 @@ let run ~engine ?faults (cfg : Exp_config.t) =
       let txn, t = eng.Engine.begin_txn ~now in
       pending := Some txn;
       Hashtbl.replace shed_tbl txn.Txn.tid kill;
+      lease_grant ~tid:txn.Txn.tid ~kind:Lease.Short ~now;
       Scheduler.Sleep_until t
     in
     Scheduler.spawn sched ~name:(Printf.sprintf "worker-%d" i) ~at:0 (fun now ->
@@ -152,6 +199,10 @@ let run ~engine ?faults (cfg : Exp_config.t) =
         | Some txn ->
             pending := None;
             Hashtbl.remove shed_tbl txn.Txn.tid;
+            (* The whole body runs in this one step — no further
+               scheduling gap where a short transaction could hang — so
+               its lease ends here. *)
+            lease_release ~tid:txn.Txn.tid;
             let access = sampler_at (Clock.to_seconds now) in
             let t = ref now in
             (try
@@ -198,13 +249,16 @@ let run ~engine ?faults (cfg : Exp_config.t) =
         let uniform = Access.create cfg.Exp_config.schema Access.Uniform in
         let state = ref None in
         let killed = ref false in
+        let zombie = ref false in
         let backoff = make_backoff (0x11c0ffee lxor ((gi * 131) + li)) in
         let kill now =
           match !state with
           | Some txn ->
               state := None;
               killed := true;
+              zombie := false;
               Hashtbl.remove shed_tbl txn.Txn.tid;
+              lease_release ~tid:txn.Txn.tid;
               if Trace.on () then
                 Trace.instant Trace.Txn "llt-killed" ~at:now [ ("tid", Trace.I txn.Txn.tid) ];
               ignore (eng.Engine.abort txn ~now);
@@ -217,11 +271,23 @@ let run ~engine ?faults (cfg : Exp_config.t) =
             | Some txn ->
                 state := None;
                 killed := true;
+                zombie := false;
                 Hashtbl.remove shed_tbl txn.Txn.tid;
+                lease_release ~tid:txn.Txn.tid;
                 if Trace.on () then
                   Trace.instant Trace.Txn "llt-crash-lost" ~at:now
                     [ ("tid", Trace.I txn.Txn.tid) ]
             | None -> ());
+        if liveness_armed then
+          Vec.push zombie_slots (fun now ->
+              match !state with
+              | Some txn when not !zombie ->
+                  zombie := true;
+                  if Trace.on () then
+                    Trace.instant Trace.Fault "llt-zombie" ~at:now
+                      [ ("tid", Trace.I txn.Txn.tid) ];
+                  true
+              | _ -> false);
         let llt_end = Clock.seconds (start_s +. duration_s) in
         Scheduler.spawn sched
           ~name:(Printf.sprintf "llt-%d-%d" gi li)
@@ -253,12 +319,21 @@ let run ~engine ?faults (cfg : Exp_config.t) =
                   let txn, t = eng.Engine.begin_txn ~now in
                   state := Some txn;
                   Hashtbl.replace shed_tbl txn.Txn.tid kill;
+                  lease_grant ~tid:txn.Txn.tid ~kind:Lease.Llt ~now;
                   Scheduler.Sleep_until t
                 end
             | Some txn ->
-                if now >= llt_end || now >= horizon then begin
+                if !zombie then
+                  (* Hung driver: keeps its snapshot pinned but never
+                     issues another operation or the commit. Only the
+                     watchdog's shed rung (through the kill switch) or
+                     the end of the run gets it off the live table. *)
+                  if now >= horizon then Scheduler.Finished
+                  else Scheduler.Sleep_until (now + Clock.ms 1)
+                else if now >= llt_end || now >= horizon then begin
                   state := None;
                   Hashtbl.remove shed_tbl txn.Txn.tid;
+                  lease_release ~tid:txn.Txn.tid;
                   let _ = eng.Engine.commit txn ~now in
                   if Trace.on () then
                     Trace.span Trace.Txn "llt" ~start:txn.Txn.begin_time
@@ -270,6 +345,7 @@ let run ~engine ?faults (cfg : Exp_config.t) =
                   let rid = Access.sample uniform rng in
                   let _, t = eng.Engine.read txn ~rid ~now in
                   incr llt_reads;
+                  lease_progress ~tid:txn.Txn.tid ~now:t;
                   Scheduler.Sleep_until t
                 end)
       done)
@@ -279,7 +355,14 @@ let run ~engine ?faults (cfg : Exp_config.t) =
      shorten the period so maintenance outpaces the pressure. *)
   Scheduler.spawn sched ~name:"gc" ~at:cfg.Exp_config.gc_period (fun now ->
       if now >= horizon then Scheduler.Finished
+      else if now < !cleaner_stall_until then
+        (* Stalled (hung) cleaner: keep the wakeup cadence — so a
+           watchdog restart takes effect at the next tick — but do no
+           maintenance and post no beat. The missing beat is exactly
+           what the watchdog detects. *)
+        Scheduler.Sleep_until (now + cfg.Exp_config.gc_period)
       else begin
+        (match wd with Some w -> Watchdog.beat w "cleaner" ~now | None -> ());
         let t = eng.Engine.maintenance ~now in
         let period =
           match eng.Engine.driver with
@@ -299,6 +382,7 @@ let run ~engine ?faults (cfg : Exp_config.t) =
       let period = max 1 (Clock.seconds cfg.Exp_config.ckpt_period_s) in
       Scheduler.spawn sched ~name:"checkpointer" ~at:period (fun now ->
           ckpt ~now;
+          (match wd with Some w -> Watchdog.beat w "checkpointer" ~now | None -> ());
           if now >= horizon then Scheduler.Finished else Scheduler.Sleep_until (now + period))
   | _ -> ());
   (* Metrics sampler. *)
@@ -320,14 +404,14 @@ let run ~engine ?faults (cfg : Exp_config.t) =
   (* Fault harness: a continuous prune-soundness audit on the driver, a
      dispatch probe that consults the plan before every scheduled step,
      and a periodic invariant sweep over the whole driver state. *)
+  let record_all ~at vs =
+    List.iter
+      (fun { Invariant.invariant; detail } -> Fault_report.record report ~at ~invariant ~detail)
+      vs
+  in
   (match faults with
   | None -> ()
   | Some plan ->
-      let record_all ~at vs =
-        List.iter
-          (fun { Invariant.invariant; detail } -> Fault_report.record report ~at ~invariant ~detail)
-          vs
-      in
       (match eng.Engine.driver with
       | Some d ->
           Invariant.install_prune_audit d ~on_violation:(fun ~now viol ->
@@ -482,6 +566,37 @@ let run ~engine ?faults (cfg : Exp_config.t) =
              with Exit -> conflicted := true);
             if !conflicted then ignore (eng.Engine.abort txn ~now)
             else ignore (eng.Engine.commit txn ~now)
+        | Fault_plan.Cleaner_stall ->
+            (* The cleaning loop hangs outright for a drawn duration —
+               long enough that a run without the watchdog provably
+               exceeds the reclamation-lag bound. Liveness injections
+               only bite in armed runs (the gate is constant for the
+               whole run, so determinism per mode is unaffected). *)
+            if liveness_armed then begin
+              let dur = Clock.ms (150 + Rng.int victim_rng 451) in
+              cleaner_stall_until := max !cleaner_stall_until (now + dur)
+            end
+        | Fault_plan.Collab_delay ->
+            (* The cutter dawdles between footprint install and its
+               completion mark. In the discrete-event engines the
+               episode is uncontended, so the observable effect is a
+               brief maintenance hiccup; the genuine spin-window stretch
+               is exercised by the multi-domain collaboration tests. *)
+            if liveness_armed then begin
+              let dur = Clock.ms (2 + Rng.int victim_rng 19) in
+              cleaner_stall_until := max !cleaner_stall_until (now + dur)
+            end
+        | Fault_plan.Llt_zombie ->
+            let n = Vec.length zombie_slots in
+            if n > 0 then begin
+              let start = Rng.int victim_rng n in
+              let rec try_slot i =
+                if i < n then
+                  if (Vec.get zombie_slots ((start + i) mod n)) now then ()
+                  else try_slot (i + 1)
+              in
+              try_slot 0
+            end
       in
       (* Crash-point schedule: power loss the first time the log's
          highest LSN reaches each point, checked at every dispatch
@@ -498,6 +613,86 @@ let run ~engine ?faults (cfg : Exp_config.t) =
               | _ -> ())
           | [] -> ());
           List.iter (fun action -> apply action ~now) (Fault_plan.poll plan ~now)));
+  (* Liveness watchdog: heartbeat sources over the cleaning pipeline,
+     the escalation ladder polled on the simulated clock, and the
+     bounded-reclamation-lag monitor. Spawned after the fault plumbing
+     so the probe is already armed when the first poll fires. *)
+  let lag_mon = ref None in
+  (match wd with
+  | None -> ()
+  | Some w ->
+      Watchdog.register w "cleaner" ~now:0;
+      (match eng.Engine.driver with
+      | Some d ->
+          Watchdog.register w "vsorter" ~now:0;
+          Watchdog.register w "vcutter" ~now:0;
+          Watchdog.register w "governor" ~now:0;
+          d.State.watchdog <- Some w;
+          let bound =
+            Watchdog.lag_bound (Watchdog.config w) ~gc_period:cfg.Exp_config.gc_period
+          in
+          lag_mon := Some (Invariant.lag_monitor d ~bound)
+      | None -> ());
+      if eng.Engine.checkpoint <> None && cfg.Exp_config.ckpt_period_s > 0. then
+        Watchdog.register ~watch:false w "checkpointer" ~now:0;
+      (* A zombie is a transaction past its lease with no progress that
+         also pins otherwise-dead versions (ISSUE §5): merely idling is
+         harmless, so only harmful idlers count — and only they are
+         ever shed, which is what the no-false-kill invariant audits. *)
+      let expired_zombies ~now =
+        match (lease, eng.Engine.driver) with
+        | Some l, Some d ->
+            List.filter
+              (fun tid -> Hashtbl.mem shed_tbl tid && Driver.pins_dead_interval d ~tid)
+              (Lease.expired l ~now)
+        | _ -> []
+      in
+      let actions =
+        {
+          Watchdog.nudge = (fun ~now -> ignore (eng.Engine.maintenance ~now));
+          restart_cleaners = (fun ~now -> cleaner_stall_until := now);
+          sync_reclaim =
+            (fun ~now ->
+              match eng.Engine.driver with
+              | Some d ->
+                  ignore (Driver.flush_all d ~now);
+                  ignore (Driver.maintain d ~now)
+              | None -> ignore (eng.Engine.maintenance ~now));
+          shed_zombies =
+            (fun ~max:batch ~now ->
+              let victims = expired_zombies ~now in
+              let rec cancel n = function
+                | [] -> n
+                | _ when n >= batch -> n
+                | tid :: rest ->
+                    let killed =
+                      match Hashtbl.find_opt shed_tbl tid with
+                      | Some kill ->
+                          (match lease with
+                          | Some l -> Lease.note_cancel l ~tid ~now
+                          | None -> ());
+                          kill now
+                      | None -> false
+                    in
+                    cancel (if killed then n + 1 else n) rest
+              in
+              cancel 0 victims);
+          zombie_count = (fun ~now -> List.length (expired_zombies ~now));
+        }
+      in
+      let period = (Watchdog.config w).Watchdog.check_period in
+      Scheduler.spawn sched ~name:"watchdog" ~at:period (fun now ->
+          (match !lag_mon with
+          | Some m -> record_all ~at:now (Invariant.check_lag m ~now)
+          | None -> ());
+          (match lease with
+          | Some l -> record_all ~at:now (Invariant.check_no_false_kill l)
+          | None -> ());
+          (match eng.Engine.driver with
+          | Some d -> record_all ~at:now (Invariant.check_watchdog d)
+          | None -> ());
+          Watchdog.poll w ~now ~actions;
+          if now >= horizon then Scheduler.Finished else Scheduler.Sleep_until (now + period)));
   (* Under an unsound rule (e.g. a sabotaged zone test) the engine can
      fail outright — a snapshot read landing on a pruned version. During
      a fault run that is itself a verdict, not a harness crash: record
@@ -513,10 +708,12 @@ let run ~engine ?faults (cfg : Exp_config.t) =
       true
   in
   if not engine_failed then eng.Engine.finish ~now:horizon;
+  (match !lag_mon with Some m -> Invariant.finish_lag m ~now:horizon | None -> ());
   (match eng.Engine.driver with
   | Some d ->
       Invariant.remove_prune_audit d;
-      d.State.shed_hook <- None
+      d.State.shed_hook <- None;
+      d.State.watchdog <- None
   | None -> ());
   let final = eng.Engine.sample () in
   let sheds =
@@ -543,6 +740,24 @@ let run ~engine ?faults (cfg : Exp_config.t) =
          (fun acc (i : Engine.restart_info) -> acc + i.Engine.losers_rolled_back)
          0 !recoveries)
   end;
+  let max_reclamation_lag = match !lag_mon with Some m -> Invariant.max_lag m | None -> 0 in
+  (* Liveness gauges, armed runs only — the default (and golden) metric
+     surface is untouched. *)
+  (match wd with
+  | None -> ()
+  | Some w ->
+      Fault_report.set_gauge report "watchdog-escalations" (Watchdog.escalations w);
+      Fault_report.set_gauge report "watchdog-nudges" (Watchdog.nudges w);
+      Fault_report.set_gauge report "zombie-cancels" (Watchdog.zombie_cancels w);
+      Fault_report.set_gauge report "max-stall-us" (Watchdog.max_stall_observed w / 1000);
+      Fault_report.set_gauge report "max-reclamation-lag-us" (max_reclamation_lag / 1000);
+      match Metrics.in_scope () with
+      | None -> ()
+      | Some _ ->
+          Metrics.set_gauge "watchdog.escalations" (float_of_int (Watchdog.escalations w));
+          Metrics.set_gauge "watchdog.zombie_cancels" (float_of_int (Watchdog.zombie_cancels w));
+          Metrics.set_gauge "watchdog.max_reclamation_lag_us"
+            (float_of_int (max_reclamation_lag / 1000)));
   (* Headline gauges for the metrics snapshot (the BENCH_obs / golden
      surface): every traced run exports these whether or not the hot
      paths fed their histograms, so the schema's required keys are
@@ -605,6 +820,13 @@ let run ~engine ?faults (cfg : Exp_config.t) =
     sheds;
     crashes = !crashes;
     recoveries = List.rev !recoveries;
+    zombie_cancels = (match wd with Some w -> Watchdog.zombie_cancels w | None -> 0);
+    watchdog_escalations = (match wd with Some w -> Watchdog.escalations w | None -> 0);
+    max_reclamation_lag;
+    reclamation_lag_us =
+      (match !lag_mon with
+      | Some m -> Invariant.lag_histogram m
+      | None -> Histogram.create ~bucket_width:50 ());
   }
 
 let avg_throughput r ~between:(lo, hi) =

@@ -45,10 +45,26 @@ type result = {
   recoveries : Engine.restart_info list;
       (** one per crash-restart, in order — replay/truncation/rollback
           counts and the simulated recovery duration *)
+  zombie_cancels : int;
+      (** transactions cancelled by the watchdog's shed rung: past their
+          lease, no progress, and pinning otherwise-dead versions *)
+  watchdog_escalations : int;
+      (** upward moves of the liveness ladder; 0 when not armed *)
+  max_reclamation_lag : Clock.time;
+      (** largest dead-to-reclaimed (or dead-and-still-resident) lag the
+          monitor observed; 0 when not armed *)
+  reclamation_lag_us : Histogram.t;
+      (** per-segment reclaim lag in microseconds (50 us buckets); empty
+          when not armed *)
 }
 
-val run : engine:(Schema.t -> Engine.t) -> ?faults:Fault_plan.t -> Exp_config.t -> result
-(** [run ~engine ?faults cfg] builds the engine and drives the
+val run :
+  engine:(Schema.t -> Engine.t) ->
+  ?faults:Fault_plan.t ->
+  ?watchdog:Watchdog.config ->
+  Exp_config.t ->
+  result
+(** [run ~engine ?faults ?watchdog cfg] builds the engine and drives the
     discrete-event simulation. With [?faults], the scheduler's dispatch
     probe consults the plan before every process step; due injections
     (crashes, forced aborts, WAL errors, flush failures, cache eviction
@@ -74,7 +90,23 @@ val run : engine:(Schema.t -> Engine.t) -> ?faults:Fault_plan.t -> Exp_config.t 
     engine), paces background maintenance by {!Governor.gc_scale}, and
     re-executes externally-aborted workers and LLT drivers under a
     seeded bounded-exponential backoff (200 us base, 20 ms cap, 6
-    attempts, deterministic jitter). *)
+    attempts, deterministic jitter).
+
+    With [?watchdog], the liveness subsystem is armed: every cleaning
+    loop posts progress beats into a {!Watchdog.t} (also installed on
+    the vDriver state so vSorter/vCutter/maintenance beat from inside
+    the pipeline), every transaction is granted a {!Lease} scaled to
+    the experiment, a watchdog process polls the escalation ladder at
+    the configured check period, and an {!Invariant.lag_monitor}
+    asserts the bounded-reclamation-lag guarantee
+    ({!Watchdog.lag_bound}) online, recording violations into
+    [result.faults]. Stall/zombie injections ([Cleaner_stall],
+    [Collab_delay], [Llt_zombie] in the fault plan) only bite in armed
+    runs. Passing a config with [enabled = false] keeps the whole
+    observation side (beats, leases, lag monitor — and therefore the
+    reclamation-lag violations) while the ladder never acts: the
+    [--no-watchdog] sabotage mode. Without [?watchdog] nothing above
+    exists and the run is bit-identical to the seed. *)
 
 val avg_throughput : result -> between:float * float -> float
 (** Mean commits/s over a closed time window. *)
