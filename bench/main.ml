@@ -23,6 +23,7 @@ let all : (string * (unit -> unit)) list =
     ("liveness", Liveness.run);
     ("micro", Micro.run);
     ("obs", Obs_point.run);
+    ("multicore", Multicore.run);
   ]
 
 let () =

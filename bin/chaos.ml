@@ -76,7 +76,116 @@ let campaign_config ~seed ~duration =
       ];
   }
 
-let run_campaigns (ename, engine) seed campaigns duration sabotage quota quota_sabotage
+(* `--mode=domains`: every campaign runs twice under the same crash-free
+   fault plan — once on the deterministic Sim scheduler, once on real
+   OCaml 5 domains — and the two {!Run_digest}s must agree in addition
+   to both runs holding every online invariant. `--skip-publish-fence`
+   sabotages the domains run's counter publication; the digest
+   comparison must then exit 1 (a clean exit is a harness bug). *)
+let run_domains_campaigns (ename, engine) seed campaigns duration sabotage quota
+    quota_sabotage require_shed ndomains skip_publish_fence =
+  let governor =
+    if quota <= 0 then Governor.default_config
+    else
+      { (Governor.governed ~quota_bytes:quota) with Governor.quota_ignore_sabotage = quota_sabotage }
+  in
+  let driver_config =
+    { State.default_config with State.zone_widen_sabotage = sabotage; governor }
+  in
+  let campaign_seeds =
+    let rng = Rng.create seed in
+    List.init campaigns (fun _ -> Int64.to_int (Rng.next_int64 rng) land 0x3fffffff)
+  in
+  Printf.printf "chaos: engine=%s seed=%d campaigns=%d duration=%.1fs mode=domains x%d sabotage=%d quota=%d%s%s\n"
+    ename seed campaigns duration ndomains sabotage quota
+    (if quota_sabotage then " quota-sabotage" else "")
+    (if skip_publish_fence then " skip-publish-fence" else "");
+  let total_violations = ref 0 and total_mismatches = ref 0 in
+  let shed_recoveries = ref 0 in
+  List.iteri
+    (fun i campaign_seed ->
+      (* A plan's poll cursor is stateful: both runs (and the banner)
+         get a fresh instance drawn from the same seed. *)
+      let plan () = Fault_plan.random ~crashes:false ~seed:campaign_seed () in
+      let cfg = campaign_config ~seed:campaign_seed ~duration in
+      let rs = Runner.run ~engine:(engine driver_config) ~faults:(plan ()) cfg in
+      let rd =
+        Runner.run ~engine:(engine driver_config) ~faults:(plan ())
+          ~mode:(Runner.Domains { domains = ndomains })
+          ~skip_publish_fence cfg
+      in
+      total_violations :=
+        !total_violations
+        + Fault_report.violation_count rs.Runner.faults
+        + Fault_report.violation_count rd.Runner.faults;
+      let ds = Run_digest.of_result ~mode:"sim" ~domains:1 cfg rs in
+      let dd = Run_digest.of_result ~mode:"domains" ~domains:ndomains cfg rd in
+      Format.printf "@[<v>campaign %d seed=%d plan: %a@ sim:     %a@ domains: %a@]@." i
+        campaign_seed Fault_plan.pp (plan ()) Run_digest.pp ds Run_digest.pp dd;
+      (match Run_digest.diff ds dd with
+      | [] -> Printf.printf "campaign %d digests agree\n" i
+      | msgs ->
+          total_mismatches := !total_mismatches + List.length msgs;
+          List.iter (fun m -> Printf.printf "campaign %d MISMATCH: %s\n" i m) msgs);
+      match rd.Runner.driver with
+      | Some d when quota > 0 ->
+          let g = Driver.governor d in
+          let reached_shedding =
+            List.exists
+              (fun tr -> tr.Governor.to_rung = Governor.Shedding)
+              (Governor.transitions g)
+          in
+          if reached_shedding && Governor.rung g = Governor.Normal then incr shed_recoveries;
+          Format.printf "@[<v>campaign %d %a@]@." i
+            (fun fmt g -> Governor.pp_summary fmt ~now:(Clock.seconds duration) g)
+            g
+      | _ -> ())
+    campaign_seeds;
+  Printf.printf "chaos: %d campaign(s), %d violation(s), %d digest mismatch(es)\n" campaigns
+    !total_violations !total_mismatches;
+  if !total_violations > 0 || !total_mismatches > 0 then exit 1;
+  if require_shed && !shed_recoveries = 0 then begin
+    Printf.printf "chaos: FAIL --require-shed: no campaign reached Shedding and recovered\n";
+    exit 1
+  end
+
+let rec run_campaigns (ename, engine) seed campaigns duration sabotage quota quota_sabotage
+    require_shed crash_points ckpt_ms skip_tail_check stalls zombie_llts no_watchdog
+    require_containment trace_out metrics_out mode ndomains skip_publish_fence =
+  match mode with
+  | `Domains ->
+      if crash_points > 0 || skip_tail_check then begin
+        prerr_endline
+          "chaos: crash-restart campaigns are Sim-only (crash faults are skipped in domains \
+           mode); drop --crash-points/--skip-tail-check";
+        exit 2
+      end;
+      if stalls || zombie_llts || no_watchdog then begin
+        prerr_endline
+          "chaos: the liveness watchdog is Sim-only; drop --stalls/--zombie-llts/--no-watchdog";
+        exit 2
+      end;
+      if require_containment then begin
+        prerr_endline "chaos: --require-containment needs the Sim-only liveness flags";
+        exit 2
+      end;
+      if trace_out <> None || metrics_out <> None then begin
+        prerr_endline "chaos: --trace/--metrics are Sim-only (tracing assumes the \
+                       single-threaded scheduler)";
+        exit 2
+      end;
+      run_domains_campaigns (ename, engine) seed campaigns duration sabotage quota
+        quota_sabotage require_shed ndomains skip_publish_fence
+  | `Sim ->
+      if skip_publish_fence then begin
+        prerr_endline "chaos: --skip-publish-fence only sabotages --mode=domains runs";
+        exit 2
+      end;
+      run_sim_campaigns (ename, engine) seed campaigns duration sabotage quota quota_sabotage
+        require_shed crash_points ckpt_ms skip_tail_check stalls zombie_llts no_watchdog
+        require_containment trace_out metrics_out
+
+and run_sim_campaigns (ename, engine) seed campaigns duration sabotage quota quota_sabotage
     require_shed crash_points ckpt_ms skip_tail_check stalls zombie_llts no_watchdog
     require_containment trace_out metrics_out =
   let governor =
@@ -348,11 +457,37 @@ let cmd =
       & info [ "metrics" ] ~docv:"FILE"
           ~doc:"Write the flat metrics JSON aggregated across all campaigns.")
   in
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("sim", `Sim); ("domains", `Domains) ]) `Sim
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "Execution substrate: $(b,sim) (deterministic, the default) or $(b,domains) — \
+             each campaign then runs twice under the same crash-free plan, once on the Sim \
+             scheduler and once on real OCaml 5 domains, and the run digests must agree on \
+             top of both sides passing every online invariant.")
+  in
+  let ndomains =
+    Arg.(
+      value & opt int 2
+      & info [ "domains" ] ~docv:"N" ~doc:"Domain count for --mode=domains.")
+  in
+  let skip_publish_fence =
+    Arg.(
+      value & flag
+      & info [ "skip-publish-fence" ]
+          ~doc:
+            "Differential sabotage (--mode=domains only): sever the publication of each \
+             task's local counters to the shared aggregate. The sim-vs-domains digest \
+             comparison must then fail the run (a clean exit is a harness bug).")
+  in
   Cmd.v
     (Cmd.info "chaos" ~doc:"Seeded fault-injection campaigns with online invariant checking.")
     Term.(
       const run_campaigns $ engine $ seed $ campaigns $ duration $ sabotage $ quota
       $ quota_sabotage $ require_shed $ crash_points $ ckpt_ms $ skip_tail_check
-      $ stalls $ zombie_llts $ no_watchdog $ require_containment $ trace_out $ metrics_out)
+      $ stalls $ zombie_llts $ no_watchdog $ require_containment $ trace_out $ metrics_out
+      $ mode $ ndomains $ skip_publish_fence)
 
 let () = exit (Cmd.eval cmd)

@@ -70,8 +70,23 @@ let run_cmd =
             "Write the flat metrics JSON snapshot (counters, gauges, histogram \
              summaries) collected during the run.")
   in
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("sim", `Sim); ("domains", `Domains) ]) `Sim
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "Execution substrate: $(b,sim) (deterministic discrete-event simulation, the \
+             default) or $(b,domains) (real OCaml 5 domains under the bounded-skew \
+             window; statistically reproducible, prints the run digest).")
+  in
+  let ndomains =
+    Arg.(
+      value & opt int 2
+      & info [ "domains" ] ~docv:"N" ~doc:"Domain count for --mode=domains.")
+  in
   let run (ename, engine) duration workers zipf llt_start llt_duration llts tables rows
-      record_bytes seed quota trace_out metrics_out =
+      record_bytes seed quota trace_out metrics_out mode ndomains =
     let pattern = if zipf <= 0. then Access.Uniform else Access.Zipfian zipf in
     let cfg =
       {
@@ -92,13 +107,28 @@ let run_cmd =
       else { State.default_config with State.governor = Governor.governed ~quota_bytes:quota }
     in
     let r =
-      Obs_export.with_obs ?trace:trace_out ?metrics:metrics_out (fun () ->
-          Runner.run ~engine:(engine driver_config) cfg)
+      match mode with
+      | `Sim ->
+          Obs_export.with_obs ?trace:trace_out ?metrics:metrics_out (fun () ->
+              Runner.run ~engine:(engine driver_config) cfg)
+      | `Domains ->
+          if trace_out <> None || metrics_out <> None then begin
+            prerr_endline "vdriver_sim: --trace/--metrics are Sim-only (tracing assumes \
+                           the single-threaded scheduler)";
+            exit 2
+          end;
+          Runner.run ~engine:(engine driver_config)
+            ~mode:(Runner.Domains { domains = ndomains }) cfg
     in
     Printf.printf "# engine=%s duration=%.0fs workers=%d access=%s llts=%d\n" r.Runner.engine_name
       duration workers
       (Access.pattern_to_string pattern)
       llts;
+    (match mode with
+    | `Domains ->
+        Format.printf "%a@." Run_digest.pp
+          (Run_digest.of_result ~mode:"domains" ~domains:ndomains cfg r)
+    | `Sim -> ());
     Printf.printf "# commits=%d conflicts=%d llt_reads=%d truncations=%d\n" r.Runner.commits
       r.Runner.conflicts r.Runner.llt_reads r.Runner.truncations;
     Printf.printf "# wal_errors=%d retries=%d give_ups=%d sheds=%d\n" r.Runner.wal_errors
@@ -130,7 +160,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run one experiment and print its time series.")
     Term.(
       const run $ engine $ duration $ workers $ zipf $ llt_start $ llt_duration $ llts $ tables
-      $ rows $ record_bytes $ seed $ quota $ trace_out $ metrics_out)
+      $ rows $ record_bytes $ seed $ quota $ trace_out $ metrics_out $ mode $ ndomains)
 
 let compare_cmd =
   let duration =

@@ -1,46 +1,59 @@
+(* All cells are Atomics so the counters stay exact when vSorter /
+   vCutter / recovery bump them from concurrent domains (the Domains
+   runner holds the engine latch around pipeline calls today, but the
+   stats must not silently rely on that). Single-threaded the values
+   are identical to the plain-ref version. *)
+
 type t = {
-  mutable relocated : int;
-  prune1 : int array;
-  prune2 : int array;
-  stored : int array;
-  mutable lost : int;
+  relocated : int Atomic.t;
+  prune1 : int Atomic.t array;
+  prune2 : int Atomic.t array;
+  stored : int Atomic.t array;
+  lost : int Atomic.t;
 }
+
+let cells () = Array.init Vclass.count (fun _ -> Atomic.make 0)
 
 let create () =
   {
-    relocated = 0;
-    prune1 = Array.make Vclass.count 0;
-    prune2 = Array.make Vclass.count 0;
-    stored = Array.make Vclass.count 0;
-    lost = 0;
+    relocated = Atomic.make 0;
+    prune1 = cells ();
+    prune2 = cells ();
+    stored = cells ();
+    lost = Atomic.make 0;
   }
 
-let bump a cls = a.(Vclass.to_index cls) <- a.(Vclass.to_index cls) + 1
-let note_relocated t = t.relocated <- t.relocated + 1
+let bump a cls = Atomic.incr a.(Vclass.to_index cls)
+let note_relocated t = Atomic.incr t.relocated
 let note_prune1 t cls = bump t.prune1 cls
 let note_prune2 t cls = bump t.prune2 cls
 let note_stored t cls = bump t.stored cls
+
 let note_lost t n =
   if n < 0 then invalid_arg "Prune_stats.note_lost: negative count";
-  t.lost <- t.lost + n
+  ignore (Atomic.fetch_and_add t.lost n : int)
 
-let sum = Array.fold_left ( + ) 0
-let relocated t = t.relocated
-let lost t = t.lost
-let in_flight t = t.relocated - sum t.prune1 - sum t.prune2 - sum t.stored - t.lost
-let prune1 t cls = t.prune1.(Vclass.to_index cls)
-let prune2 t cls = t.prune2.(Vclass.to_index cls)
-let stored t cls = t.stored.(Vclass.to_index cls)
+let sum = Array.fold_left (fun acc c -> acc + Atomic.get c) 0
+let relocated t = Atomic.get t.relocated
+let lost t = Atomic.get t.lost
+
+let in_flight t =
+  relocated t - sum t.prune1 - sum t.prune2 - sum t.stored - lost t
+
+let prune1 t cls = Atomic.get t.prune1.(Vclass.to_index cls)
+let prune2 t cls = Atomic.get t.prune2.(Vclass.to_index cls)
+let stored t cls = Atomic.get t.stored.(Vclass.to_index cls)
 let prune1_total t = sum t.prune1
 let prune2_total t = sum t.prune2
 let stored_total t = sum t.stored
 
 let reset t =
-  t.relocated <- 0;
-  t.lost <- 0;
-  Array.fill t.prune1 0 Vclass.count 0;
-  Array.fill t.prune2 0 Vclass.count 0;
-  Array.fill t.stored 0 Vclass.count 0
+  Atomic.set t.relocated 0;
+  Atomic.set t.lost 0;
+  let zero = Array.iter (fun c -> Atomic.set c 0) in
+  zero t.prune1;
+  zero t.prune2;
+  zero t.stored
 
 let pp fmt t =
   Format.fprintf fmt "@[<v>";
@@ -49,5 +62,5 @@ let pp fmt t =
       Format.fprintf fmt "%-4s 1st=%d 2nd=%d stored=%d@ " (Vclass.to_string cls) (prune1 t cls)
         (prune2 t cls) (stored t cls))
     Vclass.all;
-  if t.lost > 0 then Format.fprintf fmt "lost=%d@ " t.lost;
+  if lost t > 0 then Format.fprintf fmt "lost=%d@ " (lost t);
   Format.fprintf fmt "@]"

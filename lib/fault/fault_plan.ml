@@ -120,7 +120,7 @@ let create ?(seed = 0) ?(events = []) ?(crash_rate = 0.) ?(abort_rate = 0.)
 let none = create ()
 
 let random ?(crash_points = []) ?(torn_tail = false) ?(stalls = false)
-    ?(zombies = false) ~seed () =
+    ?(zombies = false) ?(crashes = true) ~seed () =
   let rng = Rng.create (seed lxor 0x6661756c74) in
   (* Keep crashes rare relative to the finer-grained faults: a crash
      wipes the state the other injections are stressing. The rate draws
@@ -140,6 +140,12 @@ let random ?(crash_points = []) ?(torn_tail = false) ?(stalls = false)
   let cleaner_stall_rate = if stalls then draw 0.8 2.5 else 0. in
   let collab_delay_rate = if stalls then draw 1. 4. else 0. in
   let llt_zombie_rate = if zombies then draw 0.5 1.5 else 0. in
+  (* [crashes:false] zeroes the crash arrivals *after* the draw, so every
+     other process keeps the exact sub-seed (and injection times) of the
+     same-seed plan with crashes — the differential harness compares
+     Sim/Domains runs under crash-free variants of the same plans. *)
+  let crash_rate = if crashes then crash_rate else 0. in
+  let crash_points = if crashes then crash_points else [] in
   create ~seed ~crash_rate ~abort_rate ~wal_error_rate ~flush_fail_rate
     ~evict_storm_rate ~space_storm_rate ~cleaner_stall_rate ~llt_zombie_rate
     ~collab_delay_rate ~crash_points ~torn_tail ()

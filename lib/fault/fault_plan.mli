@@ -86,6 +86,7 @@ val random :
   ?torn_tail:bool ->
   ?stalls:bool ->
   ?zombies:bool ->
+  ?crashes:bool ->
   seed:int ->
   unit ->
   t
@@ -95,7 +96,11 @@ val random :
     perturbing the rate draws. [stalls] additionally draws cleaner-stall
     and collab-delay rates, [zombies] an LLT-zombie rate; both are drawn
     strictly after the classic rates, so enabling them never perturbs
-    the classic injection times for the same seed. *)
+    the classic injection times for the same seed. [crashes:false]
+    (default [true]) zeroes the crash process and drops the crash-point
+    schedule {e after} the rate draws, leaving every other process's
+    injection times untouched — the crash-free plan variant the
+    sim-vs-domains differential harness runs both modes under. *)
 
 val seed : t -> int
 val check_period : t -> Clock.time

@@ -1,4 +1,19 @@
-type counter = { mutable count : int }
+(* Counters and gauges are Atomics and the registry table is guarded by
+   a mutex, so concurrent domains can bump counters and register names
+   without torn updates or a corrupted Hashtbl. Histograms stay plain
+   mutable structures: every histogram site in the pipeline runs under
+   the engine latch in Domains mode (and on one thread in Sim mode), so
+   they need no locking of their own — documented in DESIGN §4f.
+
+   Single-threaded behaviour is value-identical to the plain-ref
+   version (same registration order, same snapshot), which keeps the
+   Sim-mode golden metrics byte-identical. *)
+
+type counter = int Atomic.t
+
+(* Gauges are last-writer-wins floats set from exactly one domain at a
+   time (engine latch or the post-join coordinator), so a plain mutable
+   field suffices; a word-sized store cannot tear. *)
 type gauge = { mutable value : float }
 
 type entry = C of counter | G of gauge | H of Histogram.t
@@ -8,9 +23,9 @@ type value =
   | Gauge of float
   | Histo of Histogram.t
 
-type t = { tbl : (string, entry) Hashtbl.t }
+type t = { tbl : (string, entry) Hashtbl.t; lock : Mutex.t }
 
-let create () = { tbl = Hashtbl.create 64 }
+let create () = { tbl = Hashtbl.create 64; lock = Mutex.create () }
 
 let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
 
@@ -19,16 +34,22 @@ let clash name entry want =
     (Printf.sprintf "Metrics: %S already registered as a %s, requested as a %s" name
        (kind_name entry) want)
 
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
 let counter t name =
+  locked t @@ fun () ->
   match Hashtbl.find_opt t.tbl name with
   | Some (C c) -> c
   | Some e -> clash name e "counter"
   | None ->
-      let c = { count = 0 } in
+      let c = Atomic.make 0 in
       Hashtbl.replace t.tbl name (C c);
       c
 
 let gauge t name =
+  locked t @@ fun () ->
   match Hashtbl.find_opt t.tbl name with
   | Some (G g) -> g
   | Some e -> clash name e "gauge"
@@ -38,6 +59,7 @@ let gauge t name =
       g
 
 let histogram t ?(bucket_width = 1) name =
+  locked t @@ fun () ->
   match Hashtbl.find_opt t.tbl name with
   | Some (H h) -> h
   | Some e -> clash name e "histogram"
@@ -46,9 +68,10 @@ let histogram t ?(bucket_width = 1) name =
       Hashtbl.replace t.tbl name (H h);
       h
 
-let incr c = c.count <- c.count + 1
-let add c n = c.count <- c.count + n
-let counter_value c = c.count
+let incr c = Atomic.incr c
+let add c n = ignore (Atomic.fetch_and_add c n : int)
+let counter_value c = Atomic.get c
+
 let set g v = g.value <- v
 let gauge_value g = g.value
 
@@ -76,13 +99,17 @@ let set_gauge name v = match !current with None -> () | Some m -> set (gauge m n
 (* Scraping *)
 
 let snapshot t =
-  Hashtbl.fold
-    (fun name entry acc ->
-      let v =
-        match entry with C c -> Counter c.count | G g -> Gauge g.value | H h -> Histo h
-      in
-      (name, v) :: acc)
-    t.tbl []
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun name entry acc ->
+          let v =
+            match entry with
+            | C c -> Counter (counter_value c)
+            | G g -> Gauge (gauge_value g)
+            | H h -> Histo h
+          in
+          (name, v) :: acc)
+        t.tbl [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let histo_json h =

@@ -1,0 +1,222 @@
+type t = {
+  mode : string;
+  domains : int;
+  commits : int;
+  conflicts : int;
+  llt_reads : int;
+  retries : int;
+  give_ups : int;
+  sheds : int;
+  wal_errors : int;
+  faults_injected : int;
+  invariant_violations : int;
+  peak_space : int;
+  final_space : int;
+  peak_chain : int;
+  prune_relocated : int;
+  prune_in_flight : int;
+  prune_completeness : float;
+  max_holes : int;
+  holey_chains : int;
+  avg_throughput : float;
+  latency_p50_us : int;
+  latency_p99_us : int;
+  chain_p50 : int;
+  chain_p99 : int;
+  lag_armed : bool;
+  max_reclamation_lag_us : int;
+}
+
+let pctl h p = if Histogram.total h = 0 then 0 else Histogram.percentile h p
+
+(* Percentile over the final chain-length CDF: smallest length covering
+   the fraction. *)
+let cdf_pctl cdf p =
+  let rec find = function
+    | [] -> 0
+    | (v, f) :: rest -> if f >= p then v else find rest
+  in
+  find cdf
+
+let of_result ~mode ~domains (cfg : Exp_config.t) (r : Runner.result) =
+  let max_holes, holey_chains =
+    match r.Runner.driver with
+    | None -> (0, 0)
+    | Some d ->
+        let worst = ref 0 and holey = ref 0 in
+        Llb.iter d.State.llb (fun chain ->
+            let h = Chain.holes chain in
+            if h > !worst then worst := h;
+            if h > 0 then incr holey);
+        (!worst, !holey)
+  in
+  let relocated, in_flight, completeness =
+    match r.Runner.driver with
+    | None -> (0, 0, 1.)
+    | Some d ->
+        let s = Driver.stats d in
+        let pruned = Prune_stats.prune1_total s + Prune_stats.prune2_total s in
+        let settled = pruned + Prune_stats.stored_total s in
+        ( Prune_stats.relocated s,
+          Prune_stats.in_flight s,
+          if settled = 0 then 1. else float_of_int pruned /. float_of_int settled )
+  in
+  let faults_injected =
+    List.fold_left (fun acc (_, n) -> acc + n) 0 (Fault_report.faults_injected r.Runner.faults)
+  in
+  {
+    mode;
+    domains;
+    commits = r.Runner.commits;
+    conflicts = r.Runner.conflicts;
+    llt_reads = r.Runner.llt_reads;
+    retries = r.Runner.retries;
+    give_ups = r.Runner.give_ups;
+    sheds = r.Runner.sheds;
+    wal_errors = r.Runner.wal_errors;
+    faults_injected;
+    invariant_violations = Fault_report.violation_count r.Runner.faults;
+    peak_space = Runner.peak_space r;
+    final_space = Runner.final_space r;
+    peak_chain = Runner.peak_chain r;
+    prune_relocated = relocated;
+    prune_in_flight = in_flight;
+    prune_completeness = completeness;
+    max_holes;
+    holey_chains;
+    avg_throughput =
+      (if cfg.Exp_config.duration_s > 0. then
+         float_of_int r.Runner.commits /. cfg.Exp_config.duration_s
+       else 0.);
+    latency_p50_us = pctl r.Runner.latency_us 0.5;
+    latency_p99_us = pctl r.Runner.latency_us 0.99;
+    chain_p50 = cdf_pctl r.Runner.chain_cdf 0.5;
+    chain_p99 = cdf_pctl r.Runner.chain_cdf 0.99;
+    lag_armed = Histogram.total r.Runner.reclamation_lag_us > 0 || r.Runner.max_reclamation_lag > 0;
+    max_reclamation_lag_us = r.Runner.max_reclamation_lag / 1_000;
+  }
+
+type tol = { rel : float; abs : int }
+
+type tolerance = {
+  commits : tol;
+  conflicts : tol;
+  llt_reads : tol;
+  retries : tol;
+  give_ups : tol;
+  sheds : tol;
+  wal_errors : tol;
+  space : tol;
+  chain : tol;
+  latency : tol;
+  lag : tol;
+}
+
+(* Calibrated against the differential qcheck matrix (test_differential):
+   real interleaving shifts conflict/retry counts a lot and the
+   volume/space counters a little; a lost publication shifts commits by
+   a worker's whole output, far past any of these. *)
+let default_tolerance =
+  {
+    commits = { rel = 0.20; abs = 400 };
+    conflicts = { rel = 2.0; abs = 150 };
+    llt_reads = { rel = 0.25; abs = 400 };
+    retries = { rel = 2.0; abs = 60 };
+    give_ups = { rel = 2.0; abs = 25 };
+    sheds = { rel = 2.0; abs = 25 };
+    wal_errors = { rel = 2.0; abs = 80 };
+    (* Peak space is the spikiest field: under a space-storm plan one
+       extra LLT-pinned segment riding through a burst doubles the
+       transient peak, so only a >2x divergence is flagged. *)
+    space = { rel = 1.0; abs = 65536 };
+    chain = { rel = 1.0; abs = 12 };
+    latency = { rel = 0.75; abs = 60 };
+    lag = { rel = 2.0; abs = 100_000 };
+  }
+
+let close tol a b =
+  let slack = max tol.abs (int_of_float (tol.rel *. float_of_int (max (abs a) (abs b)))) in
+  abs (a - b) <= slack
+
+let diff ?(tolerance = default_tolerance) a b =
+  let out = ref [] in
+  let say fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
+  let approx name tol v =
+    if not (close tol (v a) (v b)) then
+      say "%s: %s=%d vs %s=%d (tol rel=%.2f abs=%d)" name a.mode (v a) b.mode (v b) tol.rel
+        tol.abs
+  in
+  (* Safety facts first: each side must be clean on its own. *)
+  List.iter
+    (fun d ->
+      if d.invariant_violations > 0 then
+        say "%s mode: %d invariant violations" d.mode d.invariant_violations;
+      if d.max_holes > 1 then
+        say "%s mode: chain with %d holes (SIRO allows at most 1)" d.mode d.max_holes;
+      if d.prune_in_flight < 0 then
+        say "%s mode: prune conservation violated (in_flight=%d)" d.mode d.prune_in_flight)
+    [ a; b ];
+  approx "commits" tolerance.commits (fun d -> d.commits);
+  approx "conflicts" tolerance.conflicts (fun d -> d.conflicts);
+  approx "llt_reads" tolerance.llt_reads (fun d -> d.llt_reads);
+  approx "retries" tolerance.retries (fun d -> d.retries);
+  approx "give_ups" tolerance.give_ups (fun d -> d.give_ups);
+  approx "sheds" tolerance.sheds (fun d -> d.sheds);
+  approx "wal_errors" tolerance.wal_errors (fun d -> d.wal_errors);
+  approx "peak_space" tolerance.space (fun d -> d.peak_space);
+  approx "final_space" tolerance.space (fun d -> d.final_space);
+  approx "peak_chain" tolerance.chain (fun d -> d.peak_chain);
+  approx "chain_p50" tolerance.chain (fun d -> d.chain_p50);
+  approx "chain_p99" tolerance.chain (fun d -> d.chain_p99);
+  approx "latency_p50_us" tolerance.latency (fun d -> d.latency_p50_us);
+  approx "latency_p99_us" tolerance.latency (fun d -> d.latency_p99_us);
+  (* Relocation volume tracks maintenance work; completeness is the
+     prune-soundness headline. Space tolerance fits both scales. *)
+  approx "prune_relocated" tolerance.space (fun d -> d.prune_relocated);
+  if Float.abs (a.prune_completeness -. b.prune_completeness) > 0.25 then
+    say "prune_completeness: %s=%.3f vs %s=%.3f" a.mode a.prune_completeness b.mode
+      b.prune_completeness;
+  if a.lag_armed && b.lag_armed then
+    approx "max_reclamation_lag_us" tolerance.lag (fun d -> d.max_reclamation_lag_us);
+  List.rev !out
+
+let to_json d =
+  Jsonx.Obj
+    [
+      ("mode", Jsonx.Str d.mode);
+      ("domains", Jsonx.Int d.domains);
+      ("commits", Jsonx.Int d.commits);
+      ("conflicts", Jsonx.Int d.conflicts);
+      ("llt_reads", Jsonx.Int d.llt_reads);
+      ("retries", Jsonx.Int d.retries);
+      ("give_ups", Jsonx.Int d.give_ups);
+      ("sheds", Jsonx.Int d.sheds);
+      ("wal_errors", Jsonx.Int d.wal_errors);
+      ("faults_injected", Jsonx.Int d.faults_injected);
+      ("invariant_violations", Jsonx.Int d.invariant_violations);
+      ("peak_space", Jsonx.Int d.peak_space);
+      ("final_space", Jsonx.Int d.final_space);
+      ("peak_chain", Jsonx.Int d.peak_chain);
+      ("prune_relocated", Jsonx.Int d.prune_relocated);
+      ("prune_in_flight", Jsonx.Int d.prune_in_flight);
+      ("prune_completeness", Jsonx.Float d.prune_completeness);
+      ("max_holes", Jsonx.Int d.max_holes);
+      ("holey_chains", Jsonx.Int d.holey_chains);
+      ("avg_throughput", Jsonx.Float d.avg_throughput);
+      ("latency_p50_us", Jsonx.Int d.latency_p50_us);
+      ("latency_p99_us", Jsonx.Int d.latency_p99_us);
+      ("chain_p50", Jsonx.Int d.chain_p50);
+      ("chain_p99", Jsonx.Int d.chain_p99);
+      ("lag_armed", Jsonx.Bool d.lag_armed);
+      ("max_reclamation_lag_us", Jsonx.Int d.max_reclamation_lag_us);
+    ]
+
+let pp fmt d =
+  Format.fprintf fmt
+    "@[<v>[%s x%d] commits=%d conflicts=%d llt_reads=%d sheds=%d violations=%d@ \
+     space peak=%d final=%d chain peak=%d p50=%d p99=%d holes max=%d chains=%d@ \
+     prune relocated=%d in_flight=%d completeness=%.3f lat p50=%dus p99=%dus lag=%dus@]"
+    d.mode d.domains d.commits d.conflicts d.llt_reads d.sheds d.invariant_violations
+    d.peak_space d.final_space d.peak_chain d.chain_p50 d.chain_p99 d.max_holes
+    d.holey_chains d.prune_relocated d.prune_in_flight d.prune_completeness d.latency_p50_us
+    d.latency_p99_us d.max_reclamation_lag_us
