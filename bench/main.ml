@@ -24,6 +24,7 @@ let all : (string * (unit -> unit)) list =
     ("micro", Micro.run);
     ("obs", Obs_point.run);
     ("multicore", Multicore.run);
+    ("shard", Shard_bench.run);
   ]
 
 let () =

@@ -149,9 +149,146 @@ let run_domains_campaigns (ename, engine) seed campaigns duration sabotage quota
     exit 1
   end
 
+(* `--shards=N`: the campaign drives a {!Shard_group} — N vDriver
+   pipelines over one snapshot order — through {!Shard_runner}: routed
+   OLTP with a drawn fraction of cross-shard (2PC) transactions, an LLT
+   fleet, epoch-broadcast dead zones, power losses by global log
+   position, crash-at-2PC-step schedules and torn tails, with the
+   per-shard invariant catalogue and the cross-shard atomicity oracle
+   armed. `--skip-coord-decision` is the 2PC sabotage: commit decisions
+   are never forced, so a skipped decision (statically) or a half-applied
+   commit (after a crash) must fail the run. *)
+let run_shard_campaigns seed campaigns duration shards scenario cross_pct crash_points
+    ckpt_ms crash_steps skip_coord_decision mode ndomains =
+  let scenario =
+    match Shard_router.scenario_of_string scenario with
+    | Some s -> s
+    | None ->
+        prerr_endline "chaos: unknown --shard-scenario (uniform | zipf | hot)";
+        exit 2
+  in
+  let campaign_seeds =
+    let rng = Rng.create seed in
+    List.init campaigns (fun _ -> Int64.to_int (Rng.next_int64 rng) land 0x3fffffff)
+  in
+  Printf.printf
+    "chaos: sharded seed=%d campaigns=%d duration=%.1fs shards=%d scenario=%s cross=%d%%%s%s%s%s\n"
+    seed campaigns duration shards
+    (Shard_router.scenario_to_string scenario)
+    cross_pct
+    (if crash_points > 0 then Printf.sprintf " crash-points=%d" crash_points else "")
+    (if crash_steps > 0 then Printf.sprintf " crash-steps=%d" crash_steps else "")
+    (if skip_coord_decision then " skip-coord-decision" else "")
+    (match mode with `Domains -> Printf.sprintf " mode=domains x%d" ndomains | `Sim -> "");
+  let total_violations = ref 0 and total_mismatches = ref 0 in
+  List.iteri
+    (fun i campaign_seed ->
+      let base =
+        {
+          (campaign_config ~seed:campaign_seed ~duration) with
+          Exp_config.ckpt_period_s = float_of_int ckpt_ms /. 1000.;
+        }
+      in
+      let points =
+        if crash_points <= 0 then []
+        else begin
+          let rng = Rng.create (campaign_seed lxor 0x632d7074) in
+          let lsn = ref (shards * Wal.bootstrap_lsn) in
+          List.init crash_points (fun _ ->
+              lsn := !lsn + 400 + Rng.int rng 4001;
+              !lsn)
+        end
+      in
+      let steps =
+        if crash_steps <= 0 then []
+        else begin
+          let rng = Rng.create (campaign_seed lxor 0x32706373) in
+          let s = ref 0 in
+          List.init crash_steps (fun _ ->
+              s := !s + 5 + Rng.int rng 80;
+              !s)
+        end
+      in
+      let cfg =
+        {
+          (Shard_runner.default ~shards base) with
+          Shard_runner.scenario;
+          cross_pct;
+          crash_points = points;
+          crash_steps = steps;
+          torn_tail = points <> [] || steps <> [];
+          skip_coord_decision;
+        }
+      in
+      let r = Shard_runner.run cfg in
+      total_violations := !total_violations + Fault_report.violation_count r.Shard_runner.report;
+      Format.printf
+        "@[<v>campaign %d seed=%d commits=%d (cross=%d single=%d) conflicts=%d 2pc-steps=%d \
+         crashes=%d epochs=%d@ %a@]@."
+        i campaign_seed r.Shard_runner.commits r.Shard_runner.cross_commits
+        r.Shard_runner.single_commits r.Shard_runner.conflicts r.Shard_runner.two_pc_steps
+        r.Shard_runner.crashes r.Shard_runner.epochs Fault_report.pp r.Shard_runner.report;
+      if r.Shard_runner.crashes > 0 then begin
+        let sum f = List.fold_left (fun acc x -> acc + f x) 0 r.Shard_runner.recoveries in
+        Format.printf "campaign %d recovery: crashes=%d replayed=%d truncated=%d losers=%d@." i
+          r.Shard_runner.crashes
+          (sum (fun (x : Engine.restart_info) -> x.Engine.replayed_records))
+          (sum (fun (x : Engine.restart_info) -> x.Engine.truncated_frames))
+          (sum (fun (x : Engine.restart_info) -> x.Engine.losers_rolled_back))
+      end;
+      match mode with
+      | `Sim -> ()
+      | `Domains ->
+          (* Differential leg: the same honest campaign on real domains;
+             the digests must agree. Crash faults are Sim-only, so the
+             comparison runs the crash-free variant on both substrates. *)
+          let honest =
+            {
+              cfg with
+              Shard_runner.crash_points = [];
+              crash_steps = [];
+              torn_tail = false;
+            }
+          in
+          let ds = (Shard_runner.run ~mode:Shard_runner.Sim honest).Shard_runner.digest in
+          let dd =
+            (Shard_runner.run ~mode:(Shard_runner.Domains { domains = ndomains }) honest)
+              .Shard_runner.digest
+          in
+          (match Shard_runner.digest_diff ds dd with
+          | [] -> Printf.printf "campaign %d sim/domains digests agree\n" i
+          | msgs ->
+              total_mismatches := !total_mismatches + List.length msgs;
+              List.iter (fun m -> Printf.printf "campaign %d MISMATCH: %s\n" i m) msgs))
+    campaign_seeds;
+  Printf.printf "chaos: %d sharded campaign(s), %d violation(s), %d digest mismatch(es)\n"
+    campaigns !total_violations !total_mismatches;
+  if !total_violations > 0 || !total_mismatches > 0 then exit 1
+
 let rec run_campaigns (ename, engine) seed campaigns duration sabotage quota quota_sabotage
     require_shed crash_points ckpt_ms skip_tail_check stalls zombie_llts no_watchdog
-    require_containment trace_out metrics_out mode ndomains skip_publish_fence =
+    require_containment trace_out metrics_out mode ndomains skip_publish_fence shards
+    shard_scenario cross_pct crash_steps skip_coord_decision =
+  if shards > 0 then begin
+    if
+      sabotage <> 0 || quota > 0 || quota_sabotage || require_shed || skip_tail_check || stalls
+      || zombie_llts || no_watchdog || require_containment || skip_publish_fence
+      || trace_out <> None || metrics_out <> None
+    then begin
+      prerr_endline
+        "chaos: --shards composes only with --crash-points/--crash-steps/--skip-coord-decision/\
+         --cross-pct/--shard-scenario/--ckpt-ms/--mode (the sharded campaign has its own \
+         sabotage and oracle)";
+      exit 2
+    end;
+    run_shard_campaigns seed campaigns duration shards shard_scenario cross_pct crash_points
+      ckpt_ms crash_steps skip_coord_decision mode ndomains
+  end
+  else if crash_steps > 0 || skip_coord_decision then begin
+    prerr_endline "chaos: --crash-steps/--skip-coord-decision need --shards";
+    exit 2
+  end
+  else
   match mode with
   | `Domains ->
       if crash_points > 0 || skip_tail_check then begin
@@ -482,12 +619,53 @@ let cmd =
              task's local counters to the shared aggregate. The sim-vs-domains digest \
              comparison must then fail the run (a clean exit is a harness bug).")
   in
+  let shards =
+    Arg.(
+      value & opt int 0
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Run sharded campaigns: N vDriver pipelines over one snapshot order, with routed \
+             OLTP, cross-shard 2PC transactions, epoch-broadcast dead zones and the \
+             cross-shard atomicity oracle armed (0 = unsharded, the default).")
+  in
+  let shard_scenario =
+    Arg.(
+      value & opt string "uniform"
+      & info [ "shard-scenario" ] ~docv:"S"
+          ~doc:"Traffic shape across shards: $(b,uniform), $(b,zipf) or $(b,hot).")
+  in
+  let cross_pct =
+    Arg.(
+      value & opt int 30
+      & info [ "cross-pct" ] ~docv:"PCT"
+          ~doc:"Percentage of writing transactions forced to span two shards (2PC traffic).")
+  in
+  let crash_steps =
+    Arg.(
+      value & opt int 0
+      & info [ "crash-steps" ] ~docv:"N"
+          ~doc:
+            "Sharded campaigns: schedule N whole-system crashes at seeded global 2PC step \
+             indices — power loss at exact points of the prepare/decide/apply/ack/forget \
+             sequence; recovery must resolve every orphaned prepare to one outcome on every \
+             shard.")
+  in
+  let skip_coord_decision =
+    Arg.(
+      value & flag
+      & info [ "skip-coord-decision" ]
+          ~doc:
+            "2PC sabotage (sharded campaigns): commit cross-shard transactions without ever \
+             forcing the coordinator's decision record. The cross-shard atomicity oracle must \
+             then fail the run (a clean exit is a harness bug).")
+  in
   Cmd.v
     (Cmd.info "chaos" ~doc:"Seeded fault-injection campaigns with online invariant checking.")
     Term.(
       const run_campaigns $ engine $ seed $ campaigns $ duration $ sabotage $ quota
       $ quota_sabotage $ require_shed $ crash_points $ ckpt_ms $ skip_tail_check
       $ stalls $ zombie_llts $ no_watchdog $ require_containment $ trace_out $ metrics_out
-      $ mode $ ndomains $ skip_publish_fence)
+      $ mode $ ndomains $ skip_publish_fence $ shards $ shard_scenario $ cross_pct
+      $ crash_steps $ skip_coord_decision)
 
 let () = exit (Cmd.eval cmd)

@@ -54,6 +54,11 @@ type t = {
   mutable wal : Wal.t option;
   mutable inrow_probe : (unit -> (int * int * Timestamp.t) list) option;
   mutable watchdog : Watchdog.t option;
+  mutable shard_id : int;
+  mutable zone_source : (unit -> Zone_set.t) option;
+  mutable shared_mgr : bool;
+  mutable indoubt_resolver : (tid:int -> coord:int -> int option) option;
+  mutable ckpt_indoubt : (unit -> (int * int) list * (int * int) list) option;
 }
 
 let create ?(config = default_config) txns =
@@ -82,6 +87,11 @@ let create ?(config = default_config) txns =
     wal = None;
     inrow_probe = None;
     watchdog = None;
+    shard_id = 0;
+    zone_source = None;
+    shared_mgr = false;
+    indoubt_resolver = None;
+    ckpt_indoubt = None;
   }
 
 (* The pruning policy, shared by vSorter (per-version and per-sealed-
@@ -113,7 +123,15 @@ let audit_prune t ~now ~origin ~lo ~hi =
   match t.prune_audit with Some f -> f ~now ~origin ~lo ~hi | None -> ()
 
 let refresh_zones t ~now =
-  t.zones <- Zone_set.of_txn_manager t.txns;
+  (* Sharded instances take their zone snapshot from the global epoch
+     broadcast instead of reading the live table directly — staleness is
+     conservative (a broadcast's [now_ts] upper-bounds every interval it
+     can cover, and transactions born later have begin timestamps at or
+     above it), so a stale snapshot only under-prunes, never over-prunes. *)
+  (t.zones <-
+     (match t.zone_source with
+     | Some source -> source ()
+     | None -> Zone_set.of_txn_manager t.txns));
   t.zone_views <- Txn_manager.live_views t.txns;
   t.llt_views <- Txn_manager.llt_views t.txns ~now ~delta_llt:t.delta_llt_effective;
   t.last_refresh <- now;

@@ -96,6 +96,29 @@ type t = {
           invariant sweep replays its ladder honesty. [None] (the
           default) keeps every pipeline path beat-free and runs
           bit-identical to the seed. *)
+  mutable shard_id : int;
+      (** which keyspace shard this pipeline instance serves (0 = the
+          unsharded default — one global pipeline, as in the seed). *)
+  mutable zone_source : (unit -> Zone_set.t) option;
+      (** installed by the shard group: {!refresh_zones} pulls the zone
+          snapshot from the global epoch broadcast instead of reading
+          the (shared) live table directly. Broadcast staleness is
+          conservative — it can only delay pruning, never admit an
+          unsound prune — which is what keeps Theorem 3.5 global while
+          prune decisions stay shard-local. *)
+  mutable shared_mgr : bool;
+      (** true when this instance shares its transaction manager with
+          other shards: restart recovery must then {e merge} its
+          recovered outcomes into the manager instead of resetting it
+          (the group resets once, before the per-shard restarts). *)
+  mutable indoubt_resolver : (tid:int -> coord:int -> int option) option;
+      (** installed by the shard group: answers a 2PC in-doubt
+          transaction from the coordinator shard's durable log —
+          [Some cts] iff a commit decision survived there. *)
+  mutable ckpt_indoubt : (unit -> (int * int) list * (int * int) list) option;
+      (** installed by the shard group: snapshot of
+          [(prepared, decisions)] 2PC state to persist in this shard's
+          checkpoints (see {!Checkpoint.t}). *)
 }
 
 val create : ?config:config -> Txn_manager.t -> t

@@ -19,6 +19,14 @@ type restart_info = {
   recovery_cost : Clock.time;
 }
 
+type twopc = {
+  log_begin : tid:int -> now:Clock.time -> unit;
+  log_prepare : tid:int -> coord:int -> shards:int list -> now:Clock.time -> unit;
+  apply_commit : Txn.t -> cts:int -> now:Clock.time -> unit;
+  apply_abort : Txn.t -> ats:int -> now:Clock.time -> unit;
+  wal : Wal.t;
+}
+
 type t = {
   name : string;
   txns : Txn_manager.t;
@@ -38,4 +46,8 @@ type t = {
   restart : (now:Clock.time -> restart_info) option;
       (* durable engines only: recover from the surviving log after a
          crash truncated it — replaces the bare [crash] wipe *)
+  twopc : twopc option;
+      (* durable engines only: the shard-local primitives a cross-shard
+         commit is assembled from — the group sequences them and owns
+         the (shared) transaction manager transitions *)
 }

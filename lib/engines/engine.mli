@@ -35,6 +35,29 @@ type restart_info = {
   recovery_cost : Clock.time;  (** simulated duration of the restart *)
 }
 
+type twopc = {
+  log_begin : tid:int -> now:Clock.time -> unit;
+      (** Log [Txn_begin] in this shard's WAL — called on a
+          transaction's first write to the shard. *)
+  log_prepare : tid:int -> coord:int -> shards:int list -> now:Clock.time -> unit;
+      (** Force a [Prepare] record: after this returns, the shard can
+          redo the transaction's writes whichever way the coordinator
+          decides. *)
+  apply_commit : Txn.t -> cts:int -> now:Clock.time -> unit;
+      (** Apply the commit decision locally: drop the write set's undo
+          obligation and force a [Txn_commit] record. Does {e not}
+          touch the (shared) transaction manager — the group commits
+          there exactly once. *)
+  apply_abort : Txn.t -> ats:int -> now:Clock.time -> unit;
+      (** Apply the abort decision locally: roll the shard's writes
+          back and log [Txn_abort]. Manager untouched, as above. *)
+  wal : Wal.t;  (** this shard's log, for decision lookup and crash. *)
+}
+(** Shard-local 2PC primitives (durable vDriver engines only). A
+    cross-shard commit is the group-sequenced composition:
+    prepare everywhere, decide at the coordinator, apply everywhere,
+    ack, forget. *)
+
 type t = {
   name : string;
   txns : Txn_manager.t;
@@ -74,4 +97,6 @@ type t = {
           last checkpoint, rebuild in-row and off-row state, roll back
           losers, write an end-of-restart checkpoint. Replaces the bare
           {!field-crash} wipe when present. *)
+  twopc : twopc option;
+      (** shard-local 2PC primitives; durable vDriver engines only. *)
 }

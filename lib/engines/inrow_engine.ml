@@ -233,4 +233,5 @@ let create ?(costs = Costs.default) ?(vacuum_batch = 4096) schema =
     driver = None;
     checkpoint = None;
     restart = None;
+    twopc = None;
   }

@@ -347,4 +347,5 @@ let create ?(costs = Costs.default) ?(purge_batch = 4096) ?(undo_pool_pages = 51
     driver = None;
     checkpoint = None;
     restart = None;
+    twopc = None;
   }

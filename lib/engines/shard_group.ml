@@ -1,0 +1,323 @@
+type step =
+  | Prepared of { tid : int; shard : int }
+  | Decided of { tid : int; cts : int }
+  | Applied of { tid : int; shard : int }
+  | Acked of { tid : int; shard : int }
+  | Forgotten of { tid : int }
+
+let step_name = function
+  | Prepared _ -> "prepared"
+  | Decided _ -> "decided"
+  | Applied _ -> "applied"
+  | Acked _ -> "acked"
+  | Forgotten _ -> "forgotten"
+
+type t = {
+  n : int;
+  costs : Costs.t;
+  schema : Schema.t; (* global layout; shard s holds rids congruent to s mod n *)
+  mgr : Txn_manager.t;
+  epoch : Epoch.t;
+  shards : Shard.t array;
+  participants : (int, int list ref) Hashtbl.t; (* tid -> shards written *)
+  prepared_now : (int, int) Hashtbl.t array; (* per shard: tid -> coord *)
+  decisions_now : (int, int) Hashtbl.t array; (* per coord: gid -> cts *)
+  mutable steps : int; (* durable 2PC micro-steps taken, globally *)
+  mutable on_step : (int -> step -> unit) option;
+  mutable skip_coord_decision : bool;
+  mutable single_commits : int;
+  mutable cross_commits : int;
+}
+
+let shard_of t ~rid = rid mod t.n
+let local_rid t ~rid = rid / t.n
+let global_rid t ~sid ~local = (local * t.n) + sid
+let local_records ~shards ~records ~sid = (records - sid + shards - 1) / shards
+
+let create ?costs ?driver_config ?(flavor = `Pg) ~shards:n schema =
+  if n < 1 then invalid_arg "Shard_group.create: need at least one shard";
+  let costs = match costs with Some c -> c | None -> Costs.default in
+  let mgr = Txn_manager.create () in
+  let epoch = Epoch.create mgr in
+  let records = Schema.records schema in
+  let shards =
+    Array.init n (fun sid ->
+        (* Local layout: the shard's slice of the keyspace as one flat
+           table. Global rid [r] lives on shard [r mod n] at local rid
+           [r / n]. *)
+        let local_schema =
+          {
+            schema with
+            Schema.tables = 1;
+            rows_per_table = max 1 (local_records ~shards:n ~records ~sid);
+          }
+        in
+        Shard.create ~costs ?driver_config ~mgr ~sid ~flavor local_schema)
+  in
+  let t =
+    {
+      n;
+      costs;
+      schema;
+      mgr;
+      epoch;
+      shards;
+      participants = Hashtbl.create 256;
+      prepared_now = Array.init n (fun _ -> Hashtbl.create 16);
+      decisions_now = Array.init n (fun _ -> Hashtbl.create 16);
+      steps = 0;
+      on_step = None;
+      skip_coord_decision = false;
+      single_commits = 0;
+      cross_commits = 0;
+    }
+  in
+  Array.iter
+    (fun (sh : Shard.t) ->
+      let d = sh.Shard.driver in
+      (* Dead zones come from the epoch broadcast, never from a direct
+         live-table read: staleness only under-prunes (see {!Epoch}),
+         and every shard prunes against the same global picture. *)
+      d.State.zone_source <- Some (Epoch.subscribe epoch);
+      (* Fuzzy checkpoints persist the shard's in-doubt window and the
+         coordinator's undecided... decided-but-unforgotten window, so a
+         crash between a checkpoint and the decision recovers right. *)
+      d.State.ckpt_indoubt <-
+        Some
+          (fun () ->
+            let prep =
+              Hashtbl.fold (fun tid coord acc -> (tid, coord) :: acc)
+                t.prepared_now.(sh.Shard.sid) []
+              |> List.sort compare
+            in
+            let dec =
+              Hashtbl.fold (fun gid cts acc -> (gid, cts) :: acc)
+                t.decisions_now.(sh.Shard.sid) []
+              |> List.sort compare
+            in
+            (prep, dec));
+      (* In-doubt resolution at restart: ask the coordinator's durable
+         log — its trustworthy prefix plus its checkpoint's decision
+         window — exactly what {!Wal_recovery.expect} collects. The
+         scan is always honest (CRC on): recovery may not trust a torn
+         decision. *)
+      d.State.indoubt_resolver <-
+        Some
+          (fun ~tid ~coord ->
+            if coord < 0 || coord >= n then None
+            else
+              let exp =
+                Wal_recovery.expect
+                  (Wal_recovery.analyze ~check_crc:true t.shards.(coord).Shard.wal)
+              in
+              List.assoc_opt tid exp.Wal_recovery.decisions))
+    shards;
+  t
+
+let shards t = t.shards
+let shard_count t = t.n
+let mgr t = t.mgr
+let epoch t = t.epoch
+let wals t = Array.to_list (Array.map (fun sh -> (sh.Shard.sid, sh.Shard.wal)) t.shards)
+let two_pc_steps t = t.steps
+let single_commits t = t.single_commits
+let cross_commits t = t.cross_commits
+let set_on_step t f = t.on_step <- f
+let set_skip_coord_decision t b = t.skip_coord_decision <- b
+
+let broadcast t = Epoch.broadcast t.epoch
+
+let step t s =
+  t.steps <- t.steps + 1;
+  Metrics.bump ("twopc.step." ^ step_name s);
+  match t.on_step with Some f -> f t.steps s | None -> ()
+
+let begin_txn t ~now =
+  let txn = Txn_manager.begin_txn t.mgr ~now in
+  (txn, now + t.costs.Costs.txn_begin)
+
+let read t txn ~rid ~now =
+  let s = shard_of t ~rid in
+  t.shards.(s).Shard.engine.Engine.read txn ~rid:(local_rid t ~rid) ~now
+
+let write t (txn : Txn.t) ~rid ~payload ~now =
+  let s = shard_of t ~rid in
+  let tid = txn.Txn.tid in
+  (* First touch of this shard: log the per-shard Txn_begin, so a crash
+     before any outcome leaves an honest shard-local loser. *)
+  (match Hashtbl.find_opt t.participants tid with
+  | Some l ->
+      if not (List.mem s !l) then begin
+        t.shards.(s).Shard.twopc.Engine.log_begin ~tid ~now;
+        l := s :: !l
+      end
+  | None ->
+      t.shards.(s).Shard.twopc.Engine.log_begin ~tid ~now;
+      Hashtbl.replace t.participants tid (ref [ s ]));
+  t.shards.(s).Shard.engine.Engine.write txn ~rid:(local_rid t ~rid) ~payload ~now
+
+let take_participants t tid =
+  match Hashtbl.find_opt t.participants tid with
+  | None -> []
+  | Some l ->
+      Hashtbl.remove t.participants tid;
+      List.sort_uniq compare !l
+
+let commit t (txn : Txn.t) ~now =
+  let tid = txn.Txn.tid in
+  match take_participants t tid with
+  | [] ->
+      (* Read-only: commit in the shared order; no shard logged a
+         begin, so no shard's recovery will ever ask about it. *)
+      Txn_manager.commit t.mgr txn ~now;
+      now + t.costs.Costs.txn_commit
+  | [ s ] ->
+      (* One participant: plain single-shard durability, no 2PC. *)
+      t.single_commits <- t.single_commits + 1;
+      t.shards.(s).Shard.engine.Engine.commit txn ~now
+  | parts ->
+      (* Presumed-abort 2PC. The coordinator is the smallest
+         participant; each arrow below is a durable micro-step, and the
+         [on_step] hook fires after each one — the crash campaign's way
+         of dying at every point of the protocol. *)
+      let coord = List.hd parts in
+      List.iter
+        (fun s ->
+          t.shards.(s).Shard.twopc.Engine.log_prepare ~tid ~coord ~shards:parts ~now;
+          Hashtbl.replace t.prepared_now.(s) tid coord;
+          step t (Prepared { tid; shard = s }))
+        parts;
+      (* The in-memory decision: global snapshot order commits once. *)
+      Txn_manager.commit t.mgr txn ~now;
+      let cts =
+        match Commit_log.commit_ts_of (Txn_manager.commit_log t.mgr) tid with
+        | Some c -> c
+        | None -> 0
+      in
+      let cwal = t.shards.(coord).Shard.wal in
+      if t.skip_coord_decision then Metrics.bump "twopc.decisions_skipped"
+      else begin
+        (* The commit point: the decision must be durable before any
+           participant applies. *)
+        ignore
+          (Wal.log cwal ~at:now (Wal_record.Coord_commit { gid = tid; cts; shards = parts }));
+        ignore (Wal.fsync cwal ~at:now ());
+        Hashtbl.replace t.decisions_now.(coord) tid cts
+      end;
+      step t (Decided { tid; cts });
+      List.iter
+        (fun s ->
+          t.shards.(s).Shard.twopc.Engine.apply_commit txn ~cts ~now;
+          Hashtbl.remove t.prepared_now.(s) tid;
+          step t (Applied { tid; shard = s });
+          (* Acks collect at the coordinator; only the complete set lets
+             it forget. Not forced: losing an ack merely re-asks. *)
+          ignore (Wal.log cwal ~at:now (Wal_record.Ack { gid = tid; shard = s }));
+          step t (Acked { tid; shard = s }))
+        parts;
+      ignore (Wal.log cwal ~at:now (Wal_record.Forget { gid = tid }));
+      Hashtbl.remove t.decisions_now.(coord) tid;
+      step t (Forgotten { tid });
+      t.cross_commits <- t.cross_commits + 1;
+      Metrics.bump "twopc.cross_commits";
+      now + ((1 + List.length parts) * t.costs.Costs.txn_commit)
+
+let abort t (txn : Txn.t) ~now =
+  let tid = txn.Txn.tid in
+  match take_participants t tid with
+  | [] ->
+      Txn_manager.abort t.mgr txn ~now;
+      now + t.costs.Costs.txn_commit
+  | [ s ] -> t.shards.(s).Shard.engine.Engine.abort txn ~now
+  | parts ->
+      Txn_manager.abort t.mgr txn ~now;
+      let ats =
+        match Commit_log.status (Txn_manager.commit_log t.mgr) tid with
+        | Some (Commit_log.Aborted_at a) -> a
+        | _ -> 0
+      in
+      let coord = List.hd parts in
+      (* Informational only — absence of a decision already means
+         abort. Never forced. *)
+      ignore
+        (Wal.log t.shards.(coord).Shard.wal ~at:now (Wal_record.Coord_abort { gid = tid }));
+      List.iter
+        (fun s ->
+          t.shards.(s).Shard.twopc.Engine.apply_abort txn ~ats ~now;
+          Hashtbl.remove t.prepared_now.(s) tid)
+        parts;
+      now + t.costs.Costs.txn_commit
+
+let maintenance t ~now =
+  Array.fold_left
+    (fun acc (sh : Shard.t) -> max acc (sh.Shard.engine.Engine.maintenance ~now))
+    now t.shards
+
+let finish t ~now = Array.iter (fun (sh : Shard.t) -> sh.Shard.engine.Engine.finish ~now) t.shards
+
+let sample t =
+  Array.fold_left
+    (fun (acc : Engine.sample) (sh : Shard.t) ->
+      let s = sh.Shard.engine.Engine.sample () in
+      {
+        Engine.version_bytes = acc.Engine.version_bytes + s.Engine.version_bytes;
+        redo_bytes = acc.Engine.redo_bytes + s.Engine.redo_bytes;
+        max_chain = max acc.Engine.max_chain s.Engine.max_chain;
+        splits = acc.Engine.splits + s.Engine.splits;
+        truncations = acc.Engine.truncations + s.Engine.truncations;
+        latch_wait = acc.Engine.latch_wait + s.Engine.latch_wait;
+        wal_errors = acc.Engine.wal_errors + s.Engine.wal_errors;
+      })
+    {
+      Engine.version_bytes = 0;
+      redo_bytes = 0;
+      max_chain = 0;
+      splits = 0;
+      truncations = 0;
+      latch_wait = 0;
+      wal_errors = 0;
+    }
+    t.shards
+
+let total_lsn t =
+  Array.fold_left (fun acc (sh : Shard.t) -> acc + Wal.max_lsn sh.Shard.wal) 0 t.shards
+
+let clear_inflight t =
+  Hashtbl.reset t.participants;
+  Array.iter Hashtbl.reset t.prepared_now;
+  Array.iter Hashtbl.reset t.decisions_now
+
+let crash_all ?keep t =
+  (* Whole-system power loss: every shard's device keeps only what it
+     fsynced (or what the per-shard [keep] override says survived). *)
+  Array.iter
+    (fun (sh : Shard.t) ->
+      let keep_lsn =
+        match keep with
+        | Some f -> f sh.Shard.sid
+        | None -> Wal.flushed_lsn sh.Shard.wal
+      in
+      Wal.crash sh.Shard.wal ~keep_lsn)
+    t.shards;
+  clear_inflight t
+
+let restart_all t ~now =
+  (* One shared snapshot order: reset it once, then let each shard merge
+     its recovered outcomes in ([crash_recover ~reset:false] inside the
+     engine restart). Ascending sid order means a coordinator restarts
+     no later than any shard it coordinates for — though resolution
+     reads the coordinator's log directly, so order is a nicety, not a
+     correctness requirement. *)
+  Txn_manager.reset_for_recovery t.mgr;
+  let infos =
+    Array.to_list
+      (Array.map
+         (fun (sh : Shard.t) ->
+           match sh.Shard.engine.Engine.restart with
+           | Some restart -> restart ~now
+           | None -> assert false (* shards are durable by construction *))
+         t.shards)
+  in
+  (* Fresh global picture for every pipeline before work resumes. *)
+  ignore (Epoch.broadcast t.epoch);
+  infos

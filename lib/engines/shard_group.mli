@@ -1,0 +1,128 @@
+(** N independent vDriver pipelines over one global snapshot order.
+
+    The keyspace is sharded by record id — global rid [r] lives on
+    shard [r mod n] at local rid [r / n] — and each shard runs the full
+    per-shard pipeline behind {!Shard}. Three things stay global:
+
+    - the {b snapshot order}: one shared {!Txn_manager}, so any
+      transaction reads a consistent snapshot across every shard;
+    - the {b dead zones}: a coordinator-side {!Epoch} broadcast
+      snapshots the shared live table; each shard prunes against the
+      latest broadcast, which is sound under arbitrary staleness
+      (under-pruning only) and pins, per LLT, exactly the boundary
+      Theorem 3.5 requires — globally;
+    - the {b commit decision} of a cross-shard transaction: presumed-
+      abort two-phase commit over the shards' typed WALs. Prepares are
+      forced at every participant, the decision ([Coord_commit]) is
+      forced at the coordinator {e before} any participant applies,
+      participants force their local outcome, acks collect at the
+      coordinator, and a complete set lets it forget. Absence of a
+      durable decision means abort.
+
+    Every durable action of the 2PC sequence bumps a global step
+    counter and fires the [on_step] hook — the crash campaign's way of
+    killing the system at {e every} point of the protocol and checking
+    that recovery resolves each orphaned prepare to the same outcome on
+    every shard. *)
+
+type step =
+  | Prepared of { tid : int; shard : int }
+  | Decided of { tid : int; cts : int }
+  | Applied of { tid : int; shard : int }
+  | Acked of { tid : int; shard : int }
+  | Forgotten of { tid : int }
+
+val step_name : step -> string
+
+type t
+
+val create :
+  ?costs:Costs.t ->
+  ?driver_config:State.config ->
+  ?flavor:[ `Pg | `Mysql ] ->
+  shards:int ->
+  Schema.t ->
+  t
+(** Build the group over a fresh shared manager and epoch source. The
+    schema is the {e global} layout; each shard gets its slice as a
+    local schema. [driver_config] must be durable when given (shards
+    log); the default config is made durable. Raises
+    [Invalid_argument] if [shards < 1]. *)
+
+(** {1 Routing} *)
+
+val shard_of : t -> rid:int -> int
+val local_rid : t -> rid:int -> int
+val global_rid : t -> sid:int -> local:int -> int
+val local_records : shards:int -> records:int -> sid:int -> int
+(** Number of global rids congruent to [sid] modulo [shards]. *)
+
+(** {1 Transaction interface (global rids)} *)
+
+val begin_txn : t -> now:Clock.time -> Txn.t * Clock.time
+(** Begins in the shared order only; each shard logs its own
+    [Txn_begin] on the transaction's first write there. *)
+
+val read : t -> Txn.t -> rid:int -> now:Clock.time -> int * Clock.time
+val write : t -> Txn.t -> rid:int -> payload:int -> now:Clock.time -> Engine.write_result
+
+val commit : t -> Txn.t -> now:Clock.time -> Clock.time
+(** Read-only: manager commit only. One participant: plain single-shard
+    durable commit (no 2PC). Several: the presumed-abort sequence
+    above. *)
+
+val abort : t -> Txn.t -> now:Clock.time -> Clock.time
+
+(** {1 Group services} *)
+
+val broadcast : t -> int
+(** Take a fresh global dead-zone snapshot and bump the epoch. *)
+
+val maintenance : t -> now:Clock.time -> Clock.time
+(** One background pass on every shard; returns the latest completion. *)
+
+val finish : t -> now:Clock.time -> unit
+val sample : t -> Engine.sample
+(** Summed over shards ([max_chain] is the max). *)
+
+(** {1 Crash and recovery} *)
+
+val crash_all : ?keep:(int -> int) -> t -> unit
+(** Whole-system power loss: truncate every shard's WAL at its flushed
+    LSN (or at [keep sid]) and drop all in-flight 2PC bookkeeping. The
+    caller drops its in-flight transactions — never aborts them through
+    the engine — and then calls {!restart_all}. *)
+
+val restart_all : t -> now:Clock.time -> Engine.restart_info list
+(** Group restart: reset the shared manager once, restart each shard in
+    ascending sid order (merging recovered outcomes, resolving in-doubt
+    transactions from the coordinators' durable logs), then broadcast a
+    fresh epoch. *)
+
+(** {1 Introspection and knobs} *)
+
+val shards : t -> Shard.t array
+val shard_count : t -> int
+val mgr : t -> Txn_manager.t
+val epoch : t -> Epoch.t
+val wals : t -> (int * Wal.t) list
+val total_lsn : t -> int
+(** Sum of every shard's highest surviving LSN — the crash-point
+    schedule's notion of global log position. *)
+
+val two_pc_steps : t -> int
+val single_commits : t -> int
+val cross_commits : t -> int
+
+val set_on_step : t -> (int -> step -> unit) option -> unit
+(** Fires after every durable 2PC micro-step with the global step
+    counter. The hook may raise to model a crash at exactly that point
+    of the protocol; the raise propagates out of {!commit}. *)
+
+val set_skip_coord_decision : t -> bool -> unit
+(** Sabotage: commit cross-shard transactions {e without} forcing the
+    coordinator's decision record. Participants then hold committed
+    work whose decision no durable log witnesses — caught by
+    {!Invariant.check_cross_shard_atomicity} ("2pc-decision-missing"
+    statically; "cross-shard-atomicity" after a crash between the
+    participant applies). *)

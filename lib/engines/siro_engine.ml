@@ -137,9 +137,13 @@ let maintenance st ~now =
   in
   now + st.costs.Costs.zone_check + cost
 
-let create ?(costs = Costs.default) ?driver_config ~flavor schema =
-  let mgr = Txn_manager.create () in
-  let wal = Wal.create () in
+let create ?(costs = Costs.default) ?driver_config ?mgr ?(shard = 0) ~flavor schema =
+  (* A sharded deployment shares one transaction manager (the global
+     snapshot order) across per-shard engine instances; each instance
+     still owns its pipeline, heap, slots and WAL — the shard tag keeps
+     the log a private LSN namespace. *)
+  let mgr = match mgr with Some m -> m | None -> Txn_manager.create () in
+  let wal = Wal.create ~shard () in
   (* SIRO reserves the placeholder: two slots per record, never split. *)
   let heap =
     Heap.create ~page_bytes:schema.Schema.page_bytes
@@ -171,16 +175,35 @@ let create ?(costs = Costs.default) ?driver_config ~flavor schema =
       write_sets = Hashtbl.create 256;
     }
   in
+  driver.State.shard_id <- shard;
   let durable = (Driver.config driver).State.durable_wal in
   (* Fuzzy checkpoint image: everything redo needs, captured without
      waiting for in-flight transactions (see {!Checkpoint}). *)
   let build_snapshot ~now =
     let clog = Txn_manager.commit_log mgr in
-    let live = Txn_manager.live_begin_ts mgr in
+    let live_global = Txn_manager.live_begin_ts mgr in
+    let prepared, decisions =
+      match driver.State.ckpt_indoubt with Some f -> f () | None -> ([], [])
+    in
+    (* With a shared manager the global live table lists transactions
+       that never touched this shard; snapshotting them here would turn
+       them into phantom shard-local losers at replay. The shard's live
+       set is the transactions with writes (or a prepare) here. *)
+    let live =
+      if driver.State.shared_mgr then
+        List.filter
+          (fun tid -> Hashtbl.mem st.write_sets tid || List.mem_assoc tid prepared)
+          live_global
+      else live_global
+    in
     (* Bounded commit-log window: outcomes older than the oldest live
        begin ts are only needed through data that carries them (row
-       [cts], relocation [(lo, hi)]), so they are not snapshotted. *)
-    let floor = match live with t0 :: _ -> t0 | [] -> Txn_manager.oracle mgr in
+       [cts], relocation [(lo, hi)]), so they are not snapshotted. The
+       floor stays global — any live transaction anywhere may still
+       come reading. *)
+    let floor =
+      match live_global with t0 :: _ -> t0 | [] -> Txn_manager.oracle mgr
+    in
     let committed, aborted =
       List.fold_left
         (fun (cs, abs_) (tid, status) ->
@@ -288,6 +311,8 @@ let create ?(costs = Costs.default) ?driver_config ~flavor schema =
       segments =
         List.sort (fun (a : Checkpoint.seg) b -> compare a.seg_id b.seg_id) !segs;
       next_seg_id = driver.State.next_seg_id;
+      prepared;
+      decisions;
     }
   in
   let do_checkpoint ~now =
@@ -308,13 +333,16 @@ let create ?(costs = Costs.default) ?driver_config ~flavor schema =
   let do_restart ~now =
     let skip = (Driver.config driver).State.recovery_skip_tail_check in
     let analysis = Wal_recovery.analyze ~check_crc:(not skip) wal in
-    let exp = Wal_recovery.expect analysis in
+    let exp = Wal_recovery.expect ?resolve:driver.State.indoubt_resolver analysis in
     Wal.truncate_to wal ~lsn:analysis.Wal_recovery.truncate_lsn;
     Driver.crash_restart driver;
     Hashtbl.reset st.write_sets;
     Buffer_pool.clear st.pool;
     let clrs =
-      Txn_manager.crash_recover mgr ~committed:exp.Wal_recovery.committed
+      (* A shared manager is reset once by the group before the
+         per-shard restarts; each shard then merges its outcomes in. *)
+      Txn_manager.crash_recover ~reset:(not driver.State.shared_mgr) mgr
+        ~committed:exp.Wal_recovery.committed
         ~aborted:exp.Wal_recovery.aborted ~losers:exp.Wal_recovery.losers
         ~oracle_floor:exp.Wal_recovery.oracle_floor
     in
@@ -485,6 +513,32 @@ let create ?(costs = Costs.default) ?driver_config ~flavor schema =
     driver = Some driver;
     checkpoint = (if durable then Some (fun ~now -> do_checkpoint ~now) else None);
     restart = (if durable then Some (fun ~now -> do_restart ~now) else None);
+    twopc =
+      (if not durable then None
+       else
+         Some
+           {
+             Engine.log_begin =
+               (fun ~tid ~now -> ignore (Wal.log wal ~at:now (Wal_record.Txn_begin { tid })));
+             log_prepare =
+               (fun ~tid ~coord ~shards ~now ->
+                 ignore (Wal.log wal ~at:now (Wal_record.Prepare { tid; coord; shards }));
+                 (* A prepare is a promise: it must be durable before
+                    the coordinator may count this shard as ready. *)
+                 ignore (Wal.fsync wal ~at:now ()));
+             apply_commit =
+               (fun txn ~cts ~now ->
+                 Hashtbl.remove st.write_sets txn.Txn.tid;
+                 ignore
+                   (Wal.log wal ~at:now (Wal_record.Txn_commit { tid = txn.Txn.tid; cts }));
+                 ignore (Wal.fsync wal ~at:now ()));
+             apply_abort =
+               (fun txn ~ats ~now ->
+                 rollback_writes st txn;
+                 ignore
+                   (Wal.log wal ~at:now (Wal_record.Txn_abort { tid = txn.Txn.tid; ats })));
+             wal;
+           });
   }
 
 let driver_exn (engine : Engine.t) =

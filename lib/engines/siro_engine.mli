@@ -15,9 +15,16 @@
 val create :
   ?costs:Costs.t ->
   ?driver_config:State.config ->
+  ?mgr:Txn_manager.t ->
+  ?shard:int ->
   flavor:[ `Pg | `Mysql ] ->
   Schema.t ->
   Engine.t
+(** [?mgr] shares an existing transaction manager (the global snapshot
+    order of a sharded deployment) instead of creating a private one;
+    [?shard] (default 0) tags this instance's WAL frames with its shard
+    namespace. Unsharded callers omit both and get the seed behavior
+    byte for byte. *)
 
 val driver_exn : Engine.t -> Driver.t
 (** The engine's vDriver instance. Raises if called on a vanilla

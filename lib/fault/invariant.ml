@@ -293,7 +293,12 @@ let check_post_recovery (d : Driver.t) =
   | Some wal when not (Wal.is_durable wal) -> []
   | Some wal ->
       let analysis = Wal_recovery.analyze ~check_crc:true wal in
-      let exp = Wal_recovery.expect analysis in
+      (* The oracle resolves in-doubt 2PC transactions the same honest
+         way the engine must: by looking the decision up in the
+         coordinator shard's durable log. The resolver itself always
+         CRC-verifies, so a sabotaged local replay still gets judged
+         against the honest resolution. *)
+      let exp = Wal_recovery.expect ?resolve:st.State.indoubt_resolver analysis in
       let clog = Txn_manager.commit_log st.State.txns in
       let acc = ref [] in
       let add x = acc := x :: !acc in
@@ -325,17 +330,22 @@ let check_post_recovery (d : Driver.t) =
                  "t%d had no durable outcome (loser) but recovered as committed" tid))
         exp.Wal_recovery.losers;
       (* No phantom: a committed timestamp the trustworthy log never
-         handed out means a fabricated record was replayed. *)
-      List.iter
-        (fun (tid, status) ->
-          match status with
-          | Commit_log.Committed_at _ when tid >= exp.Wal_recovery.oracle_floor ->
-              add
-                (v "recovery-phantom"
-                   "t%d is committed in the engine but at/above the log's timestamp frontier %d"
-                   tid exp.Wal_recovery.oracle_floor)
-          | _ -> ())
-        (Commit_log.entries clog);
+         handed out means a fabricated record was replayed. With a
+         shared manager the commit log is global, so one shard's
+         frontier cannot judge it — the group-level check
+         (check_cross_shard_atomicity) applies the max frontier across
+         shards instead. *)
+      if not st.State.shared_mgr then
+        List.iter
+          (fun (tid, status) ->
+            match status with
+            | Commit_log.Committed_at _ when tid >= exp.Wal_recovery.oracle_floor ->
+                add
+                  (v "recovery-phantom"
+                     "t%d is committed in the engine but at/above the log's timestamp frontier %d"
+                     tid exp.Wal_recovery.oracle_floor)
+            | _ -> ())
+          (Commit_log.entries clog);
       (* The recovered in-row image matches the durable one exactly. *)
       (match st.State.inrow_probe with
       | None -> ()
@@ -446,3 +456,132 @@ let install_prune_audit (d : Driver.t) ~on_violation =
 let remove_prune_audit (d : Driver.t) =
   let st : State.t = d in
   st.State.prune_audit <- None
+
+(* ------------------------------------------------------------------ *)
+(* Cross-shard 2PC atomicity *)
+
+let check_cross_shard_atomicity ?clog wals =
+  let wals = List.sort (fun (a, _) (b, _) -> compare a b) wals in
+  (* Honest analysis of every shard's log, with in-doubt transactions
+     resolved exactly the way a recovering participant must: a durable
+     Coord_commit anywhere in the coordinator's trustworthy prefix (or
+     its checkpoint's decision window) means commit; silence means
+     presumed abort. *)
+  let analyses =
+    List.map (fun (sid, wal) -> (sid, Wal_recovery.analyze ~check_crc:true wal)) wals
+  in
+  let decisions : (int * int, int) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (sid, (a : Wal_recovery.analysis)) ->
+      (match a.Wal_recovery.checkpoint with
+      | Some (_, ck) ->
+          List.iter
+            (fun (gid, cts) -> Hashtbl.replace decisions (sid, gid) cts)
+            ck.Checkpoint.decisions
+      | None -> ());
+      List.iter
+        (fun (r : Wal_record.t) ->
+          match r.Wal_record.payload with
+          | Wal_record.Coord_commit { gid; cts; _ } ->
+              Hashtbl.replace decisions (sid, gid) cts
+          | _ -> ())
+        a.Wal_recovery.records)
+    analyses;
+  let resolve ~tid ~coord = Hashtbl.find_opt decisions (coord, tid) in
+  let exps =
+    List.map (fun (sid, a) -> (sid, a, Wal_recovery.expect ~resolve a)) analyses
+  in
+  let acc = ref [] in
+  let add x = acc := x :: !acc in
+  (* Resolved per-shard outcomes, keyed by transaction. *)
+  let outcomes : (int, (int * [ `C of int | `A | `L ]) list ref) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let note tid o =
+    match Hashtbl.find_opt outcomes tid with
+    | Some l -> l := o :: !l
+    | None -> Hashtbl.replace outcomes tid (ref [ o ])
+  in
+  List.iter
+    (fun (sid, _, (e : Wal_recovery.expectation)) ->
+      List.iter (fun (tid, cts) -> note tid (sid, `C cts)) e.Wal_recovery.committed;
+      List.iter (fun (tid, _) -> note tid (sid, `A)) e.Wal_recovery.aborted;
+      List.iter (fun tid -> note tid (sid, `L)) e.Wal_recovery.losers)
+    exps;
+  (* The headline invariant: no transaction commits on one shard and
+     aborts (or stays a rolled-back loser) on another. *)
+  Hashtbl.fold (fun tid l acc -> (tid, !l) :: acc) outcomes []
+  |> List.sort compare
+  |> List.iter (fun (tid, l) ->
+         let commits = List.filter_map (function s, `C c -> Some (s, c) | _ -> None) l in
+         let aborts = List.filter_map (function s, `A -> Some s | _ -> None) l in
+         let losers = List.filter_map (function s, `L -> Some s | _ -> None) l in
+         (match (commits, aborts @ losers) with
+         | (cs, cts) :: _, d :: _ ->
+             add
+               (v "cross-shard-atomicity"
+                  "t%d committed on shard %d (cts %d) but aborted/lost on shard %d" tid cs cts
+                  d)
+         | _ -> ());
+         match commits with
+         | (s0, c0) :: rest ->
+             List.iter
+               (fun (s, c) ->
+                 if c <> c0 then
+                   add
+                     (v "cross-shard-atomicity"
+                        "t%d committed with cts %d on shard %d but cts %d on shard %d" tid c0
+                        s0 c s))
+               rest
+         | [] -> ());
+  (* Protocol honesty: a participant may only apply a commit for a
+     prepared transaction if the coordinator's decision is durable.
+     This is what the skip-coordinator-decision sabotage violates, and
+     it holds at every instant of the honest protocol (the decision is
+     forced before any participant applies), so it needs no lucky crash
+     timing to fire. *)
+  List.iter
+    (fun (sid, (a : Wal_recovery.analysis), _) ->
+      let prep : (int, int) Hashtbl.t = Hashtbl.create 8 in
+      (match a.Wal_recovery.checkpoint with
+      | Some (_, ck) ->
+          List.iter (fun (tid, coord) -> Hashtbl.replace prep tid coord) ck.Checkpoint.prepared
+      | None -> ());
+      List.iter
+        (fun (r : Wal_record.t) ->
+          match r.Wal_record.payload with
+          | Wal_record.Prepare { tid; coord; _ } -> Hashtbl.replace prep tid coord
+          | Wal_record.Txn_commit { tid; _ } -> (
+              match Hashtbl.find_opt prep tid with
+              | Some coord when not (Hashtbl.mem decisions (coord, tid)) ->
+                  add
+                    (v "2pc-decision-missing"
+                       "shard %d applied a commit for prepared t%d with no durable decision at coordinator shard %d"
+                       sid tid coord)
+              | _ -> ())
+          | _ -> ())
+        a.Wal_recovery.records)
+    exps;
+  (* Group-level recovery-phantom check (the shared-manager form of the
+     per-shard frontier check): immediately after a group restart, no
+     committed timestamp may sit at or above the max durable frontier. *)
+  (match clog with
+  | None -> ()
+  | Some clog ->
+      let max_floor =
+        List.fold_left
+          (fun m (_, _, (e : Wal_recovery.expectation)) ->
+            max m e.Wal_recovery.oracle_floor)
+          0 exps
+      in
+      List.iter
+        (fun (tid, status) ->
+          match status with
+          | Commit_log.Committed_at _ when tid >= max_floor ->
+              add
+                (v "recovery-phantom"
+                   "t%d is committed in the engine but at/above every shard's durable frontier %d"
+                   tid max_floor)
+          | _ -> ())
+        (Commit_log.entries clog));
+  List.rev !acc

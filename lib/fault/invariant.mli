@@ -119,3 +119,23 @@ val install_prune_audit :
     simulated time of the discard. *)
 
 val remove_prune_audit : Driver.t -> unit
+
+val check_cross_shard_atomicity :
+  ?clog:Commit_log.t -> (int * Wal.t) list -> violation list
+(** The sharded deployment's headline oracle, over the [(shard id, wal)]
+    logs of every shard. Analyzes each log honestly (CRC on), builds the
+    durable coordinator-decision table from every trustworthy prefix,
+    resolves each shard's in-doubt transactions through it exactly as a
+    recovering participant must, and reports:
+
+    - {b cross-shard-atomicity} — a transaction committed on one shard
+      but aborted / presumed-aborted on another, or committed with
+      different commit timestamps on two shards;
+    - {b 2pc-decision-missing} — a participant applied a local commit
+      for a prepared transaction with no durable decision at its
+      coordinator (what [skip_coord_decision] sabotage produces — holds
+      at every instant of the honest protocol, so it needs no lucky
+      crash timing);
+    - {b recovery-phantom} — with [?clog] (immediately after a group
+      restart), a committed timestamp at or above every shard's durable
+      frontier. *)

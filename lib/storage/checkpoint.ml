@@ -25,6 +25,8 @@ type t = {
   pending : pending list;
   segments : seg list;
   next_seg_id : int;
+  prepared : (int * int) list;
+  decisions : (int * int) list;
 }
 
 let seg_version_json (v : seg_version) =
@@ -80,18 +82,28 @@ let pending_json (p : pending) =
 let outcome_json (tid, ts) = Jsonx.Arr [ Jsonx.Int tid; Jsonx.Int ts ]
 
 let to_json t =
+  (* The 2PC members are emitted only when non-empty: unsharded
+     snapshots keep the pre-sharding byte format. *)
+  let twopc =
+    (if t.prepared = [] then []
+     else [ ("prepared", Jsonx.Arr (List.map outcome_json t.prepared)) ])
+    @
+    if t.decisions = [] then []
+    else [ ("decisions", Jsonx.Arr (List.map outcome_json t.decisions)) ]
+  in
   Jsonx.Obj
-    [
-      ("at", Jsonx.Int t.at);
-      ("oracle_next", Jsonx.Int t.oracle_next);
-      ("live", Jsonx.Arr (List.map (fun ts -> Jsonx.Int ts) t.live));
-      ("committed", Jsonx.Arr (List.map outcome_json t.committed));
-      ("aborted", Jsonx.Arr (List.map outcome_json t.aborted));
-      ("rows", Jsonx.Arr (List.map row_json t.rows));
-      ("pending", Jsonx.Arr (List.map pending_json t.pending));
-      ("segments", Jsonx.Arr (List.map seg_json t.segments));
-      ("next_seg_id", Jsonx.Int t.next_seg_id);
-    ]
+    ([
+       ("at", Jsonx.Int t.at);
+       ("oracle_next", Jsonx.Int t.oracle_next);
+       ("live", Jsonx.Arr (List.map (fun ts -> Jsonx.Int ts) t.live));
+       ("committed", Jsonx.Arr (List.map outcome_json t.committed));
+       ("aborted", Jsonx.Arr (List.map outcome_json t.aborted));
+       ("rows", Jsonx.Arr (List.map row_json t.rows));
+       ("pending", Jsonx.Arr (List.map pending_json t.pending));
+       ("segments", Jsonx.Arr (List.map seg_json t.segments));
+       ("next_seg_id", Jsonx.Int t.next_seg_id);
+     ]
+    @ twopc)
 
 let ( let* ) = Result.bind
 
@@ -188,4 +200,24 @@ let of_json j =
   let* segments = arr_field "segments" j in
   let* segments = map_result seg_of_json segments in
   let* next_seg_id = int_field "next_seg_id" j in
-  Ok { at; oracle_next; live; committed; aborted; rows; pending; segments; next_seg_id }
+  let pairs_opt name =
+    match Option.bind (Jsonx.member name j) Jsonx.to_arr with
+    | None -> Ok []
+    | Some items -> map_result outcome_of_json items
+  in
+  let* prepared = pairs_opt "prepared" in
+  let* decisions = pairs_opt "decisions" in
+  Ok
+    {
+      at;
+      oracle_next;
+      live;
+      committed;
+      aborted;
+      rows;
+      pending;
+      segments;
+      next_seg_id;
+      prepared;
+      decisions;
+    }

@@ -53,6 +53,19 @@ type t = {
   pending : pending list;
   segments : seg list;
   next_seg_id : int;
+  prepared : (int * int) list;
+      (** [(tid, coord_shard)] — transactions 2PC-prepared on this shard
+          with no decision applied locally at snapshot time. Without
+          this member a crash landing between the checkpoint and the
+          coordinator's decision would replay the transaction as an
+          ordinary loser and roll it back even when the coordinator
+          committed it — the in-doubt state must survive the snapshot. *)
+  decisions : (int * int) list;
+      (** [(gid, commit_ts)] — coordinator-side decided-but-unforgotten
+          transactions (this shard acting as coordinator), so in-doubt
+          resolution keeps working even if pre-checkpoint log is
+          archived. Both 2PC members encode only when non-empty;
+          unsharded snapshots keep the pre-sharding bytes. *)
 }
 
 val to_json : t -> Jsonx.t

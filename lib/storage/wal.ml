@@ -13,10 +13,16 @@ type t = {
   mutable total : int;
   mutable records : int;
   mutable errors : int;
+  mutable shard : int;
   mutable durable : durable option;
 }
 
-let create () = { total = 0; records = 0; errors = 0; durable = None }
+let create ?(shard = 0) () =
+  if shard < 0 then invalid_arg "Wal.create: negative shard";
+  { total = 0; records = 0; errors = 0; shard; durable = None }
+
+let shard t = t.shard
+let set_shard t shard = t.shard <- shard
 
 let append t ?at ~bytes () =
   if bytes < 0 then invalid_arg "Wal.append: negative size";
@@ -83,7 +89,7 @@ let log t ?(at = 0) payload =
       | `Pass ->
           let lsn = d.next_lsn in
           d.next_lsn <- lsn + 1;
-          let repr = Wal_record.encode { Wal_record.lsn; at; payload } in
+          let repr = Wal_record.encode { Wal_record.lsn; at; shard = t.shard; payload } in
           Vec.push d.frames { lsn; repr };
           t.total <- t.total + String.length repr;
           t.records <- t.records + 1;

@@ -19,7 +19,14 @@
 
 type t
 
-val create : unit -> t
+val create : ?shard:int -> unit -> t
+(** [shard] (default 0) namespaces the log: every frame {!log} writes
+    carries the tag, and {!Wal_recovery.analyze} refuses frames tagged
+    for a different shard. Shard 0 encodes without the tag, preserving
+    the pre-sharding frame bytes. *)
+
+val shard : t -> int
+val set_shard : t -> int -> unit
 
 val append : t -> ?at:int -> bytes:int -> unit -> unit
 (** Append a record, unless the ["wal.append"] fail-point fires. [at]

@@ -21,8 +21,13 @@ type payload =
   | Seg_cut of { seg_id : int }
   | Ckpt_begin
   | Ckpt_end of { snapshot : Jsonx.t }
+  | Prepare of { tid : int; coord : int; shards : int list }
+  | Coord_commit of { gid : int; cts : int; shards : int list }
+  | Coord_abort of { gid : int }
+  | Ack of { gid : int; shard : int }
+  | Forget of { gid : int }
 
-type t = { lsn : int; at : int; payload : payload }
+type t = { lsn : int; at : int; shard : int; payload : payload }
 
 let kind_name = function
   | Txn_begin _ -> "txn-begin"
@@ -35,6 +40,11 @@ let kind_name = function
   | Seg_cut _ -> "seg-cut"
   | Ckpt_begin -> "ckpt-begin"
   | Ckpt_end _ -> "ckpt-end"
+  | Prepare _ -> "2pc-prepare"
+  | Coord_commit _ -> "2pc-commit"
+  | Coord_abort _ -> "2pc-abort"
+  | Ack _ -> "2pc-ack"
+  | Forget _ -> "2pc-forget"
 
 let payload_fields = function
   | Txn_begin { tid } -> [ ("tid", Jsonx.Int tid) ]
@@ -60,10 +70,31 @@ let payload_fields = function
       [ ("seg", Jsonx.Int seg_id) ]
   | Ckpt_begin -> []
   | Ckpt_end { snapshot } -> [ ("snapshot", snapshot) ]
+  | Prepare { tid; coord; shards } ->
+      [
+        ("tid", Jsonx.Int tid);
+        ("coord", Jsonx.Int coord);
+        ("shards", Jsonx.Arr (List.map (fun s -> Jsonx.Int s) shards));
+      ]
+  | Coord_commit { gid; cts; shards } ->
+      [
+        ("gid", Jsonx.Int gid);
+        ("cts", Jsonx.Int cts);
+        ("shards", Jsonx.Arr (List.map (fun s -> Jsonx.Int s) shards));
+      ]
+  | Coord_abort { gid } -> [ ("gid", Jsonx.Int gid) ]
+  | Ack { gid; shard } -> [ ("gid", Jsonx.Int gid); ("shard", Jsonx.Int shard) ]
+  | Forget { gid } -> [ ("gid", Jsonx.Int gid) ]
 
 let body_json t =
+  (* The shard tag is emitted only when nonzero: shard 0 is the
+     unsharded (single-pipeline) namespace and its frames must stay
+     byte-identical to the pre-sharding format. *)
+  let shard_field = if t.shard = 0 then [] else [ ("sh", Jsonx.Int t.shard) ] in
   Jsonx.Obj
-    ([ ("lsn", Jsonx.Int t.lsn); ("at", Jsonx.Int t.at); ("kind", Jsonx.Str (kind_name t.payload)) ]
+    ([ ("lsn", Jsonx.Int t.lsn); ("at", Jsonx.Int t.at) ]
+    @ shard_field
+    @ [ ("kind", Jsonx.Str (kind_name t.payload)) ]
     @ payload_fields t.payload)
 
 let frame_of_body body ~crc =
@@ -95,6 +126,19 @@ let str_field name obj =
   | None -> Error (Printf.sprintf "missing string field %S" name)
 
 let ( let* ) = Result.bind
+
+let int_list_field name obj =
+  match Option.bind (Jsonx.member name obj) Jsonx.to_arr with
+  | None -> Error (Printf.sprintf "missing array field %S" name)
+  | Some items ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | x :: rest -> (
+            match Jsonx.to_int x with
+            | Some n -> go (n :: acc) rest
+            | None -> Error (Printf.sprintf "non-int element in array field %S" name))
+      in
+      go [] items
 
 let payload_of_json kind obj =
   match kind with
@@ -141,6 +185,26 @@ let payload_of_json kind obj =
       match Jsonx.member "snapshot" obj with
       | Some snapshot -> Ok (Ckpt_end { snapshot })
       | None -> Error "missing field \"snapshot\"")
+  | "2pc-prepare" ->
+      let* tid = int_field "tid" obj in
+      let* coord = int_field "coord" obj in
+      let* shards = int_list_field "shards" obj in
+      Ok (Prepare { tid; coord; shards })
+  | "2pc-commit" ->
+      let* gid = int_field "gid" obj in
+      let* cts = int_field "cts" obj in
+      let* shards = int_list_field "shards" obj in
+      Ok (Coord_commit { gid; cts; shards })
+  | "2pc-abort" ->
+      let* gid = int_field "gid" obj in
+      Ok (Coord_abort { gid })
+  | "2pc-ack" ->
+      let* gid = int_field "gid" obj in
+      let* shard = int_field "shard" obj in
+      Ok (Ack { gid; shard })
+  | "2pc-forget" ->
+      let* gid = int_field "gid" obj in
+      Ok (Forget { gid })
   | k -> Error (Printf.sprintf "unknown record kind %S" k)
 
 let decode ?(check_crc = true) repr =
@@ -164,6 +228,7 @@ let decode ?(check_crc = true) repr =
   in
   let* lsn = int_field "lsn" json in
   let* at = int_field "at" json in
+  let shard = match Option.bind (Jsonx.member "sh" json) Jsonx.to_int with Some s -> s | None -> 0 in
   let* kind = str_field "kind" json in
   let* payload = payload_of_json kind json in
-  Ok { lsn; at; payload }
+  Ok { lsn; at; shard; payload }

@@ -37,8 +37,34 @@ type payload =
   | Seg_cut of { seg_id : int }  (** vCutter cut of a hardened segment. *)
   | Ckpt_begin
   | Ckpt_end of { snapshot : Jsonx.t }  (** See {!Checkpoint}. *)
+  | Prepare of { tid : int; coord : int; shards : int list }
+      (** Presumed-abort 2PC, participant side: this shard holds [tid]'s
+          writes ready to commit and has ceded the decision to shard
+          [coord]. [shards] is the full write-participant set. A prepare
+          with no later local outcome is {e in-doubt}: recovery must
+          resolve it from the coordinator's log (commit iff a durable
+          {!Coord_commit} exists; otherwise presumed abort). *)
+  | Coord_commit of { gid : int; cts : int; shards : int list }
+      (** Coordinator decision record — the 2PC commit point. Forced to
+          the coordinator shard's log {e before} any participant applies
+          the commit locally. *)
+  | Coord_abort of { gid : int }
+      (** Coordinator abort decision. Informational under presumed
+          abort (absence of a decision means abort) — logged unforced. *)
+  | Ack of { gid : int; shard : int }
+      (** Coordinator-side note that participant [shard] has durably
+          applied the decision. *)
+  | Forget of { gid : int }
+      (** All participants acked — the coordinator drops [gid] from its
+          in-doubt table and need answer no more queries about it. *)
 
-type t = { lsn : int; at : int; payload : payload }
+type t = { lsn : int; at : int; shard : int; payload : payload }
+(** [shard] namespaces the frame: each shard's pipeline logs into its
+    own WAL with its own LSN space, and recovery refuses frames whose
+    tag does not match the log being analyzed (cross-shard frame
+    interleaving is corruption, not data). Shard 0 — the unsharded
+    namespace — is encoded without the tag, byte-identical to the
+    pre-sharding format. *)
 
 val kind_name : payload -> string
 

@@ -9,16 +9,20 @@ type analysis = {
 let analyze ?(check_crc = true) wal =
   let frames = Wal.frames wal in
   let total = List.length frames in
+  let own_shard = Wal.shard wal in
   (* Scan forward and stop at the first frame that fails to parse or
      verify: everything beyond a torn/corrupt frame is untrustworthy
      even if it happens to checksum, because the device gave no
-     ordering guarantee past the tear. *)
+     ordering guarantee past the tear. A frame tagged for a different
+     shard is treated the same way — each shard's log is its own LSN
+     namespace, and an interleaved foreign frame means the write path
+     crossed shards, which replay must refuse rather than absorb. *)
   let rec scan acc last = function
     | [] -> (List.rev acc, last)
     | (_, repr) :: rest -> (
         match Wal_record.decode ~check_crc repr with
-        | Ok r -> scan (r :: acc) r.Wal_record.lsn rest
-        | Error _ -> (List.rev acc, last))
+        | Ok r when r.Wal_record.shard = own_shard -> scan (r :: acc) r.Wal_record.lsn rest
+        | Ok _ | Error _ -> (List.rev acc, last))
   in
   let records, truncate_lsn = scan [] 0 frames in
   let survivors = List.length records in
@@ -52,6 +56,9 @@ type expectation = {
   next_seg_id : int;
   oracle_floor : int;
   replayed : int;
+  indoubt : (int * int) list;
+  resolved_commits : (int * int) list;
+  decisions : (int * int) list;
 }
 
 type seg_acc = {
@@ -60,7 +67,7 @@ type seg_acc = {
   mutable sa_versions : Checkpoint.seg_version list; (* reversed *)
 }
 
-let expect analysis =
+let expect ?resolve analysis =
   let base =
     match analysis.checkpoint with
     | Some (_, ckpt) -> ckpt
@@ -75,6 +82,8 @@ let expect analysis =
           pending = [];
           segments = [];
           next_seg_id = 0;
+          prepared = [];
+          decisions = [];
         }
   in
   let ckpt_lsn = match analysis.checkpoint with Some (lsn, _) -> lsn | None -> 0 in
@@ -86,6 +95,8 @@ let expect analysis =
     Hashtbl.create 64
   in
   let segs : (int, seg_acc) Hashtbl.t = Hashtbl.create 64 in
+  let prepared : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let decisions : (int, int) Hashtbl.t = Hashtbl.create 16 in
   let dead_segs = ref [] in
   let max_ts = ref (base.Checkpoint.oracle_next - 1) in
   let see ts = if ts > !max_ts then max_ts := ts in
@@ -109,6 +120,29 @@ let expect analysis =
         { sa_cls = s.cls; sa_hardened = s.hardened; sa_versions = List.rev s.versions };
       if s.seg_id >= !next_seg_id then next_seg_id := s.seg_id + 1)
     base.Checkpoint.segments;
+  List.iter
+    (fun (tid, coord) ->
+      see tid;
+      Hashtbl.replace prepared tid coord;
+      Hashtbl.replace live tid ())
+    base.Checkpoint.prepared;
+  List.iter
+    (fun (gid, cts) ->
+      see gid;
+      see cts;
+      Hashtbl.replace decisions gid cts)
+    base.Checkpoint.decisions;
+  (* Coordinator decisions are collected from the whole trustworthy
+     prefix, not just the replay window: another shard's in-doubt
+     participant may ask about a transaction whose decision predates
+     this shard's last checkpoint (already forgotten here, still
+     unresolved there). *)
+  List.iter
+    (fun (r : Wal_record.t) ->
+      match r.Wal_record.payload with
+      | Wal_record.Coord_commit { gid; cts; _ } -> Hashtbl.replace decisions gid cts
+      | _ -> ())
+    analysis.records;
   let note_write tid (w : Checkpoint.pending_write) =
     let writes =
       match Hashtbl.find_opt pending tid with
@@ -132,6 +166,7 @@ let expect analysis =
         see tid;
         see cts;
         Hashtbl.remove live tid;
+        Hashtbl.remove prepared tid;
         Hashtbl.replace committed tid cts;
         (match Hashtbl.find_opt pending tid with
         | None -> ()
@@ -153,6 +188,7 @@ let expect analysis =
         see ats;
         Hashtbl.remove live tid;
         Hashtbl.remove pending tid;
+        Hashtbl.remove prepared tid;
         Hashtbl.replace aborted tid ats
     | Wal_record.Version_insert { tid; rid; value } ->
         see tid;
@@ -182,6 +218,22 @@ let expect analysis =
     | Wal_record.Seg_drop { seg_id } | Wal_record.Seg_cut { seg_id } ->
         Hashtbl.remove segs seg_id;
         dead_segs := seg_id :: !dead_segs
+    | Wal_record.Prepare { tid; coord; shards = _ } ->
+        see tid;
+        (* Prepared and not yet resolved locally: the transaction is
+           in-doubt, not a loser — rollback must wait for the
+           coordinator's verdict. *)
+        Hashtbl.replace prepared tid coord;
+        Hashtbl.replace live tid ()
+    | Wal_record.Coord_commit { gid; cts; shards = _ } ->
+        see gid;
+        see cts;
+        Hashtbl.replace decisions gid cts
+    | Wal_record.Coord_abort { gid } | Wal_record.Ack { gid; _ } | Wal_record.Forget { gid } ->
+        (* Presumed abort: the absence of a commit decision already
+           means abort, and acks/forgets only trim the coordinator's
+           in-doubt table. *)
+        see gid
     | Wal_record.Ckpt_begin | Wal_record.Ckpt_end _ ->
         (* Only the last complete checkpoint is the replay base; a
            trailing Ckpt_begin whose end was lost is ignored. *)
@@ -190,6 +242,46 @@ let expect analysis =
   List.iter
     (fun (r : Wal_record.t) -> if r.Wal_record.lsn > ckpt_lsn then apply r)
     analysis.records;
+  (* In-doubt resolution: a transaction that prepared here but has no
+     local outcome asks the coordinator. A durable Coord_commit means
+     commit (apply the pending writes at its commit timestamp); no
+     answer means presumed abort — the transaction stays a loser and
+     the caller rolls it back with a CLR like any other. *)
+  let indoubt_list =
+    Hashtbl.fold
+      (fun tid coord acc -> if Hashtbl.mem live tid then (tid, coord) :: acc else acc)
+      prepared []
+    |> List.sort compare
+  in
+  let resolved_commits = ref [] in
+  (match resolve with
+  | None -> ()
+  | Some lookup ->
+      List.iter
+        (fun (tid, coord) ->
+          match lookup ~tid ~coord with
+          | None -> ()
+          | Some cts ->
+              see cts;
+              resolved_commits := (tid, cts) :: !resolved_commits;
+              Hashtbl.remove live tid;
+              Hashtbl.replace committed tid cts;
+              (match Hashtbl.find_opt pending tid with
+              | None -> ()
+              | Some ws ->
+                  Hashtbl.remove pending tid;
+                  List.iter
+                    (fun (_, (w : Checkpoint.pending_write)) ->
+                      Hashtbl.replace rows w.rid
+                        {
+                          Checkpoint.rid = w.rid;
+                          value = w.value;
+                          vs = tid;
+                          vs_time = w.vs_time;
+                          cts;
+                        })
+                    (List.rev !ws)))
+        indoubt_list);
   let committed_list =
     Hashtbl.fold (fun tid cts acc -> (tid, cts) :: acc) committed []
   in
@@ -225,4 +317,7 @@ let expect analysis =
     next_seg_id = !next_seg_id;
     oracle_floor = !max_ts + 1;
     replayed = !replayed;
+    indoubt = indoubt_list;
+    resolved_commits = List.sort compare !resolved_commits;
+    decisions = Hashtbl.fold (fun gid cts acc -> (gid, cts) :: acc) decisions [] |> List.sort compare;
   }

@@ -24,7 +24,10 @@ type analysis = {
 
 val analyze : ?check_crc:bool -> Wal.t -> analysis
 (** [~check_crc:false] is the sabotage knob: frames are still parsed but
-    checksums are ignored, so a fabricated torn tail gets replayed. *)
+    checksums are ignored, so a fabricated torn tail gets replayed. A
+    frame whose shard tag differs from [Wal.shard wal] ends the
+    trustworthy prefix regardless of the knob: shard logs are disjoint
+    LSN namespaces and interleaved foreign frames are corruption. *)
 
 type seg_build = {
   seg_id : int;
@@ -45,6 +48,22 @@ type expectation = {
   next_seg_id : int;
   oracle_floor : int;  (** Timestamp oracle must resume at or above this. *)
   replayed : int;  (** Redo records applied past the checkpoint. *)
+  indoubt : (int * int) list;
+      (** [(tid, coord_shard)], sorted — 2PC-prepared here with no local
+          outcome. Resolved through [?resolve] when given; the
+          unresolved remainder stays in {!field-losers} (presumed
+          abort). *)
+  resolved_commits : (int * int) list;
+      (** [(tid, cts)] in-doubt transactions the resolver committed —
+          their pending writes are folded into {!field-rows}. *)
+  decisions : (int * int) list;
+      (** [(gid, cts)] coordinator commit decisions durable in {e this}
+          log (checkpoint window plus replayed [Coord_commit] records) —
+          what other shards' resolvers come asking for. *)
 }
 
-val expect : analysis -> expectation
+val expect : ?resolve:(tid:int -> coord:int -> int option) -> analysis -> expectation
+(** [resolve ~tid ~coord] answers an in-doubt participant from the
+    coordinator shard's durable state: [Some cts] iff a [Coord_commit]
+    for [tid] survived in shard [coord]'s log. Without a resolver every
+    in-doubt transaction is presumed aborted. *)

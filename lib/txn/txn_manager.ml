@@ -74,11 +74,17 @@ let abort t (txn : Txn.t) ~now =
   Metrics.bump "txn.aborts"
 
 
-let crash_recover t ~committed ~aborted ~losers ~oracle_floor =
-  (* Lost memory is not consulted: the live table is wiped and the
-     commit log rebuilt from what the recovered WAL proves. *)
+let reset_for_recovery t =
   Hashtbl.reset t.live;
-  Commit_log.reset t.log;
+  Commit_log.reset t.log
+
+let crash_recover ?(reset = true) t ~committed ~aborted ~losers ~oracle_floor =
+  (* Lost memory is not consulted: the live table is wiped and the
+     commit log rebuilt from what the recovered WAL proves. Shards
+     sharing one manager recover with [~reset:false] — the group wipes
+     once up front and each shard merges its outcomes in, first outcome
+     winning across shards exactly as it does within one log. *)
+  if reset then reset_for_recovery t;
   let restore status (tid, ts) =
     (* First outcome wins: a sabotaged replay can fabricate conflicting
        outcomes, and recovery must degrade into a state the invariant

@@ -19,18 +19,26 @@ val commit : t -> Txn.t -> now:Clock.time -> unit
 
 val abort : t -> Txn.t -> now:Clock.time -> unit
 
+val reset_for_recovery : t -> unit
+(** Wipe the live table and commit log without restoring anything — the
+    shard group calls this once before letting each shard merge its
+    recovered outcomes in via [crash_recover ~reset:false]. *)
+
 val crash_recover :
+  ?reset:bool ->
   t ->
   committed:(Timestamp.t * Timestamp.t) list ->
   aborted:(Timestamp.t * Timestamp.t) list ->
   losers:Timestamp.t list ->
   oracle_floor:Timestamp.t ->
   (Timestamp.t * Timestamp.t) list
-(** Restart path: wipe the live table, rebuild the commit log from the
-    recovered outcomes, ratchet the oracle past every recovered
+(** Restart path: wipe the live table ([~reset], default true; shards
+    sharing one manager pass [false] and merge), rebuild the commit log
+    from the recovered outcomes, ratchet the oracle past every recovered
     timestamp, then roll back each loser by recording an abort at a
-    fresh timestamp. Returns the [(tid, abort_ts)] pairs so the caller
-    can write the compensating abort records to the log. *)
+    fresh timestamp. First outcome wins on conflicting restores — within
+    one log and across shards alike. Returns the [(tid, abort_ts)] pairs
+    so the caller can write the compensating abort records to the log. *)
 
 val commit_log : t -> Commit_log.t
 val live_count : t -> int

@@ -466,6 +466,7 @@ let run_sim ~engine ?faults ?watchdog (cfg : Exp_config.t) =
               {
                 Wal_record.lsn = Wal.next_lsn wal;
                 at = now;
+                shard = Wal.shard wal;
                 payload = Wal_record.Txn_commit { tid; cts };
               }
           in

@@ -1,0 +1,593 @@
+type mode = Sim | Domains of { domains : int }
+
+type cfg = {
+  base : Exp_config.t;
+  shards : int;
+  scenario : Shard_router.scenario;
+  cross_pct : int; (* % of writing transactions forced to span two shards *)
+  epoch_period : Clock.time;
+  crash_points : int list; (* cumulative-LSN power-loss schedule *)
+  crash_steps : int list; (* global 2PC step indices, ascending *)
+  torn_tail : bool;
+  skip_coord_decision : bool;
+  check_period : Clock.time; (* invariant sweep; 0 disables *)
+}
+
+let default ~shards base =
+  {
+    base;
+    shards;
+    scenario = Shard_router.Uniform_shards;
+    cross_pct = 30;
+    epoch_period = Clock.ms 5;
+    crash_points = [];
+    crash_steps = [];
+    torn_tail = false;
+    skip_coord_decision = false;
+    check_period = Clock.ms 50;
+  }
+
+type digest = {
+  d_mode : string;
+  d_shards : int;
+  d_commits : int;
+  d_conflicts : int;
+  d_cross_commits : int;
+  d_violations : int;
+  d_peak_space : int;
+  d_throughput : float;
+}
+
+let digest_to_json d =
+  Jsonx.Obj
+    [
+      ("mode", Jsonx.Str d.d_mode);
+      ("shards", Jsonx.Int d.d_shards);
+      ("commits", Jsonx.Int d.d_commits);
+      ("conflicts", Jsonx.Int d.d_conflicts);
+      ("cross_commits", Jsonx.Int d.d_cross_commits);
+      ("violations", Jsonx.Int d.d_violations);
+      ("peak_space", Jsonx.Int d.d_peak_space);
+      ("throughput", Jsonx.Float d.d_throughput);
+    ]
+
+(* Sim vs Domains agree on safety exactly and on load statistically:
+   Domains interleaves for real, so counts drift with scheduling. Slack
+   follows Run_digest: an absolute floor for small-run noise (a run
+   short enough that no sampler fired can legitimately report a fully
+   pruned peak of zero) under a relative band for real divergence. *)
+let digest_diff ?(tol = 0.5) a b =
+  let acc = ref [] in
+  let say fmt = Format.kasprintf (fun s -> acc := s :: !acc) fmt in
+  if a.d_shards <> b.d_shards then say "shards: %d vs %d" a.d_shards b.d_shards;
+  if a.d_violations <> 0 || b.d_violations <> 0 then
+    say "violations: %d (%s) vs %d (%s)" a.d_violations a.d_mode b.d_violations b.d_mode;
+  let close ~rel ~abs x y =
+    let slack = max abs (int_of_float (rel *. float_of_int (max x y))) in
+    Stdlib.abs (x - y) <= slack
+  in
+  if not (close ~rel:tol ~abs:400 a.d_commits b.d_commits) then
+    say "commits: %d vs %d (beyond %.0f%% + 400)" a.d_commits b.d_commits (tol *. 100.);
+  if not (close ~rel:1.0 ~abs:65536 a.d_peak_space b.d_peak_space) then
+    say "peak_space: %d vs %d (beyond 2x + 64KiB)" a.d_peak_space b.d_peak_space;
+  (* Cross-shard traffic must exist in both modes or neither. *)
+  if (a.d_cross_commits = 0) <> (b.d_cross_commits = 0) then
+    say "cross_commits: %d vs %d" a.d_cross_commits b.d_cross_commits;
+  List.rev !acc
+
+type result = {
+  commits : int;
+  conflicts : int;
+  cross_commits : int;
+  single_commits : int;
+  two_pc_steps : int;
+  llt_reads : int;
+  crashes : int;
+  recoveries : Engine.restart_info list;
+  report : Fault_report.t;
+  peak_space : int;
+  final_space : int;
+  epochs : int;
+  throughput : float;
+  digest : digest;
+}
+
+exception Crash_now
+(* Raised by the 2PC step hook to die at an exact protocol point; caught
+   by the owning worker, which then runs the whole-system restart. *)
+
+let make_digest ~mode ~shards ~commits ~conflicts ~cross ~violations ~peak ~tput =
+  {
+    d_mode = mode;
+    d_shards = shards;
+    d_commits = commits;
+    d_conflicts = conflicts;
+    d_cross_commits = cross;
+    d_violations = violations;
+    d_peak_space = peak;
+    d_throughput = tput;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Sim mode: deterministic discrete-event campaign with the full fault
+   surface — LSN crash points, crash-at-every-2PC-step, torn tails. *)
+
+let run_sim (cfg : cfg) =
+  Failpoint.with_scope @@ fun () ->
+  let base = cfg.base in
+  let g = Shard_group.create ~shards:cfg.shards base.Exp_config.schema in
+  Shard_group.set_skip_coord_decision g cfg.skip_coord_decision;
+  let row = Exp_config.pattern_at base 0.0 in
+  let router = Shard_router.create ~row ~shards:cfg.shards base.Exp_config.schema cfg.scenario in
+  let sched = Scheduler.create () in
+  let master_rng = Rng.create base.Exp_config.seed in
+  let horizon = Clock.seconds base.Exp_config.duration_s in
+  let report = Fault_report.create () in
+  let record_all ~at vs =
+    List.iter
+      (fun { Invariant.invariant; detail } -> Fault_report.record report ~at ~invariant ~detail)
+      vs
+  in
+  let commits = ref 0 in
+  let conflicts = ref 0 in
+  let llt_reads = ref 0 in
+  let crashes = ref 0 in
+  let recoveries = ref [] in
+  let peak_space = ref 0 in
+  let drop_slots : (Clock.time -> unit) Vec.t = Vec.create () in
+  (* Prune audits on every shard: unsound shard-local discards under the
+     (possibly stale) epoch snapshot surface immediately. *)
+  Array.iter
+    (fun (sh : Shard.t) ->
+      Invariant.install_prune_audit sh.Shard.driver ~on_violation:(fun ~now viol ->
+          record_all ~at:now [ viol ]))
+    (Shard_group.shards g);
+  (* Crash-at-every-2PC-step: the hook fires after each durable protocol
+     action; reaching a scheduled step raises out of the commit in
+     progress, leaving the system exactly as the step left it. *)
+  let crash_steps = ref cfg.crash_steps in
+  Shard_group.set_on_step g
+    (Some
+       (fun n _ ->
+         match !crash_steps with
+         | p :: rest when n >= p ->
+             crash_steps := rest;
+             raise Crash_now
+         | _ -> ()));
+  let torn_rr = ref 0 in
+  let do_crash_restart ~now =
+    incr crashes;
+    Fault_report.note_fault report "crash-restart";
+    Vec.iter (fun drop -> drop now) drop_slots;
+    Shard_group.crash_all g;
+    if cfg.torn_tail then begin
+      (* A fabricated tail frame on a rotating shard: a commit for a
+         transaction the surviving prefix says is undecided. Honest
+         recovery truncates it by CRC. *)
+      let sid = !torn_rr mod cfg.shards in
+      incr torn_rr;
+      let wal = (Shard_group.shards g).(sid).Shard.wal in
+      let exp = Wal_recovery.expect (Wal_recovery.analyze wal) in
+      let tid, cts =
+        match exp.Wal_recovery.losers with
+        | tid :: _ -> (tid, exp.Wal_recovery.oracle_floor + 1)
+        | [] ->
+            (exp.Wal_recovery.oracle_floor + 999983, exp.Wal_recovery.oracle_floor + 999984)
+      in
+      let frame =
+        Wal_record.encode_with_bad_crc
+          {
+            Wal_record.lsn = Wal.next_lsn wal;
+            at = now;
+            shard = Wal.shard wal;
+            payload = Wal_record.Txn_commit { tid; cts };
+          }
+      in
+      ignore (Wal.inject_raw wal frame);
+      Fault_report.note_fault report "torn-tail"
+    end;
+    let infos = Shard_group.restart_all g ~now in
+    recoveries := List.rev_append infos !recoveries;
+    Array.iter
+      (fun (sh : Shard.t) -> record_all ~at:now (Invariant.check_post_recovery sh.Shard.driver))
+      (Shard_group.shards g);
+    record_all ~at:now
+      (Invariant.check_cross_shard_atomicity
+         ~clog:(Txn_manager.commit_log (Shard_group.mgr g))
+         (Shard_group.wals g))
+  in
+  (* OLTP workers, routed across shards. A drawn fraction of writing
+     transactions is forced to touch a second shard — the 2PC traffic. *)
+  let spawn_worker i =
+    let rng = Rng.split master_rng in
+    let pending = ref None in
+    Vec.push drop_slots (fun _now -> pending := None);
+    Scheduler.spawn sched ~name:(Printf.sprintf "worker-%d" i) ~at:0 (fun now ->
+        match !pending with
+        | None ->
+            if now >= horizon then Scheduler.Finished
+            else begin
+              let txn, t = Shard_group.begin_txn g ~now in
+              pending := Some txn;
+              Scheduler.Sleep_until t
+            end
+        | Some txn -> (
+            pending := None;
+            let t = ref now in
+            let cross =
+              cfg.shards > 1
+              && base.Exp_config.writes_per_txn > 1
+              && Rng.int rng 100 < cfg.cross_pct
+            in
+            try
+              for _ = 1 to base.Exp_config.reads_per_txn do
+                let rid = Shard_router.sample router rng in
+                let _, t' = Shard_group.read g txn ~rid ~now:!t in
+                t := t'
+              done;
+              let first_sid = ref 0 in
+              for w = 0 to base.Exp_config.writes_per_txn - 1 do
+                let rid =
+                  if w = 0 then begin
+                    let rid = Shard_router.sample router rng in
+                    first_sid := Shard_group.shard_of g ~rid;
+                    rid
+                  end
+                  else if cross then
+                    (* Spread the rest of the write set over the other
+                       shards, round-robin from the first. *)
+                    Shard_router.sample_on router rng
+                      ~sid:((!first_sid + w) mod cfg.shards)
+                  else Shard_router.sample_on router rng ~sid:!first_sid
+                in
+                match Shard_group.write g txn ~rid ~payload:(Rng.int rng 1_000_000) ~now:!t with
+                | Engine.Committed_path t' -> t := t'
+                | Engine.Conflict t' ->
+                    t := t';
+                    raise Exit
+              done;
+              t := Shard_group.commit g txn ~now:!t;
+              incr commits;
+              Scheduler.Sleep_until !t
+            with
+            | Exit ->
+                incr conflicts;
+                t := Shard_group.abort g txn ~now:!t;
+                Scheduler.Sleep_until !t
+            | Crash_now ->
+                (* The 2PC step hook killed the system mid-commit. The
+                   in-flight transaction (ours included) dies with it;
+                   recovery decides every orphaned prepare from the
+                   logs. *)
+                do_crash_restart ~now:!t;
+                Scheduler.Sleep_until (!t + Clock.us 100)))
+  in
+  for i = 0 to base.Exp_config.workers - 1 do
+    spawn_worker i
+  done;
+  (* LLT fleet: long read-only scans pinning global snapshots — what
+     makes stale-epoch pruning and the space curves interesting. *)
+  List.iteri
+    (fun gi { Exp_config.start_s; duration_s; count } ->
+      for li = 0 to count - 1 do
+        let rng = Rng.split master_rng in
+        let state = ref None in
+        Vec.push drop_slots (fun _now -> state := None);
+        let llt_end = Clock.seconds (start_s +. duration_s) in
+        Scheduler.spawn sched
+          ~name:(Printf.sprintf "llt-%d-%d" gi li)
+          ~at:(Clock.seconds start_s)
+          (fun now ->
+            match !state with
+            | None ->
+                if now >= llt_end || now >= horizon then Scheduler.Finished
+                else begin
+                  let txn, t = Shard_group.begin_txn g ~now in
+                  state := Some txn;
+                  Scheduler.Sleep_until t
+                end
+            | Some txn ->
+                if now >= llt_end || now >= horizon then begin
+                  state := None;
+                  ignore (Shard_group.commit g txn ~now);
+                  Scheduler.Finished
+                end
+                else begin
+                  let rid = Shard_router.sample router rng in
+                  let _, t = Shard_group.read g txn ~rid ~now in
+                  incr llt_reads;
+                  Scheduler.Sleep_until t
+                end)
+      done)
+    base.Exp_config.llts;
+  (* Background maintenance across every shard. *)
+  Scheduler.spawn sched ~name:"gc" ~at:base.Exp_config.gc_period (fun now ->
+      if now >= horizon then Scheduler.Finished
+      else begin
+        let t = Shard_group.maintenance g ~now in
+        Scheduler.Sleep_until (max t (now + base.Exp_config.gc_period))
+      end);
+  (* The epoch broadcaster: the only process that reads the global live
+     table for pruning purposes. *)
+  Scheduler.spawn sched ~name:"epoch" ~at:cfg.epoch_period (fun now ->
+      ignore (Shard_group.broadcast g);
+      if now >= horizon then Scheduler.Finished else Scheduler.Sleep_until (now + cfg.epoch_period));
+  (* Fuzzy checkpoints, every shard in turn. *)
+  if base.Exp_config.ckpt_period_s > 0. then begin
+    let period = max 1 (Clock.seconds base.Exp_config.ckpt_period_s) in
+    Scheduler.spawn sched ~name:"checkpointer" ~at:period (fun now ->
+        Array.iter
+          (fun (sh : Shard.t) ->
+            match sh.Shard.engine.Engine.checkpoint with
+            | Some ckpt -> ckpt ~now
+            | None -> ())
+          (Shard_group.shards g);
+        if now >= horizon then Scheduler.Finished else Scheduler.Sleep_until (now + period))
+  end;
+  (* Sampler: peak space over the group. *)
+  let sample_period = max 1 (Clock.seconds base.Exp_config.sample_period_s) in
+  Scheduler.spawn sched ~name:"sampler" ~at:sample_period (fun now ->
+      let s = Shard_group.sample g in
+      if s.Engine.version_bytes > !peak_space then peak_space := s.Engine.version_bytes;
+      if now >= horizon then Scheduler.Finished else Scheduler.Sleep_until (now + sample_period));
+  (* Periodic invariant sweep: per-shard catalogue plus the static
+     cross-shard 2PC checks (the latter catch a skipped decision with
+     no crash at all). *)
+  if cfg.check_period > 0 then
+    Scheduler.spawn sched ~name:"invariants" ~at:cfg.check_period (fun now ->
+        Fault_report.note_check report;
+        Array.iter
+          (fun (sh : Shard.t) -> record_all ~at:now (Invariant.check_all sh.Shard.driver))
+          (Shard_group.shards g);
+        record_all ~at:now (Invariant.check_cross_shard_atomicity (Shard_group.wals g));
+        if now >= horizon then Scheduler.Finished else Scheduler.Sleep_until (now + cfg.check_period));
+  (* Crash points in global log position: power loss the first time the
+     summed LSN reaches each point, checked at every dispatch. *)
+  let crash_points = ref cfg.crash_points in
+  Scheduler.set_probe sched (fun ~name:_ ~now ->
+      match !crash_points with
+      | p :: rest when Shard_group.total_lsn g >= p ->
+          crash_points := rest;
+          do_crash_restart ~now
+      | _ -> ());
+  let engine_failed =
+    try
+      ignore (Scheduler.run sched ~until:horizon);
+      false
+    with exn ->
+      Fault_report.record report ~at:(Scheduler.now sched) ~invariant:"engine-failure"
+        ~detail:(Printexc.to_string exn);
+      true
+  in
+  Scheduler.clear_probe sched;
+  Shard_group.set_on_step g None;
+  if not engine_failed then Shard_group.finish g ~now:horizon;
+  Array.iter (fun (sh : Shard.t) -> Invariant.remove_prune_audit sh.Shard.driver) (Shard_group.shards g);
+  (* End-of-run verdicts: the full catalogue per shard, and the
+     cross-shard oracle over every surviving log. *)
+  Array.iter
+    (fun (sh : Shard.t) -> record_all ~at:horizon (Invariant.check_all sh.Shard.driver))
+    (Shard_group.shards g);
+  record_all ~at:horizon (Invariant.check_cross_shard_atomicity (Shard_group.wals g));
+  let final = Shard_group.sample g in
+  if final.Engine.version_bytes > !peak_space then peak_space := final.Engine.version_bytes;
+  Fault_report.set_gauge report "commits" !commits;
+  Fault_report.set_gauge report "cross-commits" (Shard_group.cross_commits g);
+  Fault_report.set_gauge report "single-commits" (Shard_group.single_commits g);
+  Fault_report.set_gauge report "2pc-steps" (Shard_group.two_pc_steps g);
+  Fault_report.set_gauge report "epochs" (Epoch.epoch (Shard_group.epoch g));
+  if !crashes > 0 then Fault_report.set_gauge report "crash-restarts" !crashes;
+  let tput = float_of_int !commits /. Float.max 1e-9 base.Exp_config.duration_s in
+  {
+    commits = !commits;
+    conflicts = !conflicts;
+    cross_commits = Shard_group.cross_commits g;
+    single_commits = Shard_group.single_commits g;
+    two_pc_steps = Shard_group.two_pc_steps g;
+    llt_reads = !llt_reads;
+    crashes = !crashes;
+    recoveries = List.rev !recoveries;
+    report;
+    peak_space = !peak_space;
+    final_space = final.Engine.version_bytes;
+    epochs = Epoch.epoch (Shard_group.epoch g);
+    throughput = tput;
+    digest =
+      make_digest ~mode:"sim" ~shards:cfg.shards ~commits:!commits ~conflicts:!conflicts
+        ~cross:(Shard_group.cross_commits g)
+        ~violations:(Fault_report.violation_count report)
+        ~peak:!peak_space ~tput;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Domains mode: the honest (crash-free) campaign on real OCaml 5
+   domains over the Exec bounded-skew substrate — the same task shapes
+   as Sim, with virtual clocks advanced by the same simulated costs, so
+   load statistics land close to the Sim digest. Every group call goes
+   through one mutex: engine state is serialized at operation
+   granularity while operations from different domains genuinely
+   interleave (transactions overlap, conflicts happen). Statistically —
+   not bit — reproducible; compare with {!digest_diff}. *)
+
+let run_domains ~domains (cfg : cfg) =
+  if cfg.crash_points <> [] || cfg.crash_steps <> [] || cfg.torn_tail then
+    invalid_arg "Shard_runner: crash faults are Sim-only (stop-the-world constructs)";
+  if domains < 1 then invalid_arg "Shard_runner: need at least one domain";
+  Failpoint.with_scope @@ fun () ->
+  let base = cfg.base in
+  let g = Shard_group.create ~shards:cfg.shards base.Exp_config.schema in
+  Shard_group.set_skip_coord_decision g cfg.skip_coord_decision;
+  let row = Exp_config.pattern_at base 0.0 in
+  let router = Shard_router.create ~row ~shards:cfg.shards base.Exp_config.schema cfg.scenario in
+  let horizon = Clock.seconds base.Exp_config.duration_s in
+  let exec = Exec.domains ~domains () in
+  let lock = Mutex.create () in
+  let locked f =
+    Mutex.lock lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+  in
+  let commits = Atomic.make 0 in
+  let conflicts = Atomic.make 0 in
+  let llt_reads = Atomic.make 0 in
+  let peak_space = Atomic.make 0 in
+  let master_rng = Rng.create base.Exp_config.seed in
+  let spawn_worker i =
+    let rng = Rng.split master_rng in
+    let pending = ref None in
+    Exec.spawn exec ~name:(Printf.sprintf "worker-%d" i) ~at:0 (fun now ->
+        match !pending with
+        | None ->
+            if now >= horizon then Exec.Finished
+            else begin
+              let txn, t = locked (fun () -> Shard_group.begin_txn g ~now) in
+              pending := Some txn;
+              Exec.Sleep_until t
+            end
+        | Some txn -> (
+            pending := None;
+            let t = ref now in
+            let cross =
+              cfg.shards > 1
+              && base.Exp_config.writes_per_txn > 1
+              && Rng.int rng 100 < cfg.cross_pct
+            in
+            try
+              for _ = 1 to base.Exp_config.reads_per_txn do
+                let rid = Shard_router.sample router rng in
+                let _, t' = locked (fun () -> Shard_group.read g txn ~rid ~now:!t) in
+                t := t'
+              done;
+              let first_sid = ref 0 in
+              for w = 0 to base.Exp_config.writes_per_txn - 1 do
+                let rid =
+                  if w = 0 then begin
+                    let rid = Shard_router.sample router rng in
+                    first_sid := Shard_group.shard_of g ~rid;
+                    rid
+                  end
+                  else if cross then
+                    Shard_router.sample_on router rng
+                      ~sid:((!first_sid + w) mod cfg.shards)
+                  else Shard_router.sample_on router rng ~sid:!first_sid
+                in
+                match
+                  locked (fun () ->
+                      Shard_group.write g txn ~rid ~payload:(Rng.int rng 1_000_000) ~now:!t)
+                with
+                | Engine.Committed_path t' -> t := t'
+                | Engine.Conflict t' ->
+                    t := t';
+                    raise Exit
+              done;
+              t := locked (fun () -> Shard_group.commit g txn ~now:!t);
+              Atomic.incr commits;
+              Exec.Sleep_until !t
+            with Exit ->
+              Atomic.incr conflicts;
+              t := locked (fun () -> Shard_group.abort g txn ~now:!t);
+              Exec.Sleep_until !t))
+  in
+  for i = 0 to base.Exp_config.workers - 1 do
+    spawn_worker i
+  done;
+  List.iteri
+    (fun gi { Exp_config.start_s; duration_s; count } ->
+      for li = 0 to count - 1 do
+        let rng = Rng.split master_rng in
+        let state = ref None in
+        let llt_end = Clock.seconds (start_s +. duration_s) in
+        Exec.spawn exec
+          ~name:(Printf.sprintf "llt-%d-%d" gi li)
+          ~at:(Clock.seconds start_s)
+          (fun now ->
+            match !state with
+            | None ->
+                if now >= llt_end || now >= horizon then Exec.Finished
+                else begin
+                  let txn, t = locked (fun () -> Shard_group.begin_txn g ~now) in
+                  state := Some txn;
+                  Exec.Sleep_until t
+                end
+            | Some txn ->
+                if now >= llt_end || now >= horizon then begin
+                  state := None;
+                  ignore (locked (fun () -> Shard_group.commit g txn ~now));
+                  Exec.Finished
+                end
+                else begin
+                  let rid = Shard_router.sample router rng in
+                  let _, t = locked (fun () -> Shard_group.read g txn ~rid ~now) in
+                  Atomic.incr llt_reads;
+                  Exec.Sleep_until t
+                end)
+      done)
+    base.Exp_config.llts;
+  Exec.spawn exec ~name:"gc" ~at:base.Exp_config.gc_period (fun now ->
+      if now >= horizon then Exec.Finished
+      else begin
+        let t = locked (fun () -> Shard_group.maintenance g ~now) in
+        Exec.Sleep_until (max t (now + base.Exp_config.gc_period))
+      end);
+  Exec.spawn exec ~name:"epoch" ~at:cfg.epoch_period (fun now ->
+      ignore (locked (fun () -> Shard_group.broadcast g));
+      if now >= horizon then Exec.Finished else Exec.Sleep_until (now + cfg.epoch_period));
+  if base.Exp_config.ckpt_period_s > 0. then begin
+    let period = max 1 (Clock.seconds base.Exp_config.ckpt_period_s) in
+    Exec.spawn exec ~name:"checkpointer" ~at:period (fun now ->
+        locked (fun () ->
+            Array.iter
+              (fun (sh : Shard.t) ->
+                match sh.Shard.engine.Engine.checkpoint with
+                | Some ckpt -> ckpt ~now
+                | None -> ())
+              (Shard_group.shards g));
+        if now >= horizon then Exec.Finished else Exec.Sleep_until (now + period))
+  end;
+  let sample_period = max 1 (Clock.seconds base.Exp_config.sample_period_s) in
+  Exec.spawn exec ~name:"sampler" ~at:sample_period (fun now ->
+      let s = locked (fun () -> Shard_group.sample g) in
+      if s.Engine.version_bytes > Atomic.get peak_space then
+        Atomic.set peak_space s.Engine.version_bytes;
+      if now >= horizon then Exec.Finished else Exec.Sleep_until (now + sample_period));
+  ignore (Exec.run exec ~until:horizon);
+  locked (fun () -> Shard_group.finish g ~now:horizon);
+  let report = Fault_report.create () in
+  let record_all ~at vs =
+    List.iter
+      (fun { Invariant.invariant; detail } -> Fault_report.record report ~at ~invariant ~detail)
+      vs
+  in
+  Fault_report.note_check report;
+  Array.iter
+    (fun (sh : Shard.t) -> record_all ~at:horizon (Invariant.check_all sh.Shard.driver))
+    (Shard_group.shards g);
+  record_all ~at:horizon (Invariant.check_cross_shard_atomicity (Shard_group.wals g));
+  let final = Shard_group.sample g in
+  if final.Engine.version_bytes > Atomic.get peak_space then
+    Atomic.set peak_space final.Engine.version_bytes;
+  let tput = float_of_int (Atomic.get commits) /. Float.max 1e-9 base.Exp_config.duration_s in
+  {
+    commits = Atomic.get commits;
+    conflicts = Atomic.get conflicts;
+    cross_commits = Shard_group.cross_commits g;
+    single_commits = Shard_group.single_commits g;
+    two_pc_steps = Shard_group.two_pc_steps g;
+    llt_reads = Atomic.get llt_reads;
+    crashes = 0;
+    recoveries = [];
+    report;
+    peak_space = Atomic.get peak_space;
+    final_space = final.Engine.version_bytes;
+    epochs = Epoch.epoch (Shard_group.epoch g);
+    throughput = tput;
+    digest =
+      make_digest ~mode:"domains" ~shards:cfg.shards ~commits:(Atomic.get commits)
+        ~conflicts:(Atomic.get conflicts)
+        ~cross:(Shard_group.cross_commits g)
+        ~violations:(Fault_report.violation_count report)
+        ~peak:(Atomic.get peak_space) ~tput;
+  }
+
+let run ?(mode = Sim) cfg =
+  if cfg.shards < 1 then invalid_arg "Shard_runner.run: need at least one shard";
+  match mode with Sim -> run_sim cfg | Domains { domains } -> run_domains ~domains cfg

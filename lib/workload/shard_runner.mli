@@ -1,0 +1,80 @@
+(** Campaign driver for sharded deployments.
+
+    Sim mode is the seed discrete-event scheduler over a
+    {!Shard_group}: OLTP workers routed by a {!Shard_router} (a drawn
+    fraction of writing transactions forced cross-shard, i.e. through
+    2PC), an LLT fleet pinning global snapshots, per-shard background
+    maintenance and fuzzy checkpoints, a global epoch broadcaster, and
+    the full fault surface — power loss at scheduled global log
+    positions, {b crash-at-every-2PC-step} via the group's step hook,
+    and torn tails on a rotating shard. After every restart the
+    per-shard post-recovery catalogue and the cross-shard atomicity
+    oracle both run; the static 2PC checks also run in the periodic
+    sweep and at the end of every run, so a skipped coordinator
+    decision is caught even without a crash. Whole runs are
+    deterministic: same config, same bytes.
+
+    Domains mode runs the honest path on real OCaml 5 domains over the
+    {!Exec} bounded-skew substrate — the same task shapes and simulated
+    costs as Sim, interleaved for real, with one mutex serializing
+    group calls at operation granularity — statistically reproducible,
+    compared across modes with {!digest_diff}. Crash faults are
+    Sim-only and rejected ([Invalid_argument]). *)
+
+type mode = Sim | Domains of { domains : int }
+
+type cfg = {
+  base : Exp_config.t;  (** workload shape: workers, mix, LLTs, periods *)
+  shards : int;
+  scenario : Shard_router.scenario;
+  cross_pct : int;  (** % of writing transactions forced to span two shards *)
+  epoch_period : Clock.time;
+  crash_points : int list;  (** power loss when the summed LSN reaches each *)
+  crash_steps : int list;  (** crash at these global 2PC step indices, ascending *)
+  torn_tail : bool;
+  skip_coord_decision : bool;  (** sabotage: never force the decision record *)
+  check_period : Clock.time;  (** invariant sweep period; 0 disables *)
+}
+
+val default : shards:int -> Exp_config.t -> cfg
+(** Uniform routing, 30% cross-shard, 5 ms epochs, 50 ms sweeps, no
+    faults. *)
+
+type digest = {
+  d_mode : string;
+  d_shards : int;
+  d_commits : int;
+  d_conflicts : int;
+  d_cross_commits : int;
+  d_violations : int;
+  d_peak_space : int;
+  d_throughput : float;
+}
+
+val digest_to_json : digest -> Jsonx.t
+
+val digest_diff : ?tol:float -> digest -> digest -> string list
+(** Empty when the digests agree: violations exactly zero in both,
+    commits within the relative tolerance (default 0.5 — Domains
+    interleaves for real) with a 400-commit floor, peak space within 2x
+    with a 64 KiB floor, and cross-shard traffic present in both or
+    neither. *)
+
+type result = {
+  commits : int;
+  conflicts : int;
+  cross_commits : int;
+  single_commits : int;
+  two_pc_steps : int;
+  llt_reads : int;
+  crashes : int;
+  recoveries : Engine.restart_info list;
+  report : Fault_report.t;  (** faults injected, checks run, violations *)
+  peak_space : int;
+  final_space : int;
+  epochs : int;
+  throughput : float;  (** commits/s over the whole run *)
+  digest : digest;
+}
+
+val run : ?mode:mode -> cfg -> result

@@ -44,7 +44,7 @@ let sample_payloads : Wal_record.payload list =
 let test_record_roundtrip () =
   List.iteri
     (fun i payload ->
-      let r = { Wal_record.lsn = 10 + i; at = Clock.ms (1 + i); payload } in
+      let r = { Wal_record.lsn = 10 + i; at = Clock.ms (1 + i); shard = 0; payload } in
       match Wal_record.decode (Wal_record.encode r) with
       | Ok r' ->
           check_bool (Printf.sprintf "roundtrip %s" (Wal_record.kind_name payload)) true (r = r')
@@ -53,7 +53,7 @@ let test_record_roundtrip () =
 
 let test_record_crc_rejects_flip () =
   let r =
-    { Wal_record.lsn = 3; at = Clock.ms 2; payload = Wal_record.Version_insert { tid = 5; rid = 1; value = 42 } }
+    { Wal_record.lsn = 3; at = Clock.ms 2; shard = 0; payload = Wal_record.Version_insert { tid = 5; rid = 1; value = 42 } }
   in
   let frame = Wal_record.encode r in
   (* Swap one digit of the value — still valid JSON, but the body no
@@ -82,7 +82,7 @@ let test_record_crc_rejects_flip () =
   | Error e -> Alcotest.failf "check_crc:false must accept the frame: %s" e
 
 let test_record_bad_crc_encoder () =
-  let r = { Wal_record.lsn = 4; at = 0; payload = Wal_record.Txn_commit { tid = 9; cts = 12 } } in
+  let r = { Wal_record.lsn = 4; at = 0; shard = 0; payload = Wal_record.Txn_commit { tid = 9; cts = 12 } } in
   let frame = Wal_record.encode_with_bad_crc r in
   (match Wal_record.decode frame with
   | Ok _ -> Alcotest.fail "bad-crc frame must be rejected"
@@ -259,6 +259,7 @@ let torn_tail_frame wal =
     {
       Wal_record.lsn = Wal.next_lsn wal;
       at = 0;
+      shard = Wal.shard wal;
       payload = Wal_record.Txn_commit { tid; cts = tid + 1 };
     }
 
