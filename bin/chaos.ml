@@ -60,6 +60,26 @@ let engine_conv =
     ( (fun s -> Result.map (fun e -> (s, e)) (engine_of_string s)),
       fun fmt (s, _) -> Format.pp_print_string fmt s )
 
+let gc_backend_conv =
+  Arg.conv
+    ( Gc_backend.kind_of_string,
+      fun fmt k -> Format.pp_print_string fmt (Gc_backend.kind_name k) )
+
+(* `--gc-backend` swaps the collector behind Driver.maintain for every
+   engine the campaigns build; `--gc-sabotage` arms the chosen backend's
+   own sabotage knob (a budget-shirking cutter, an announce-array
+   off-by-one, a bound-ignoring token collector) which the invariant
+   catalogue must catch. The vcutter backend is byte-identical to the
+   un-hooked seed path, so installing it unconditionally keeps every
+   default campaign reproducible against old outputs. *)
+let gc_config ~kind ~sabotage =
+  { Gc_backend.default_config with Gc_backend.kind; sabotage }
+
+let gc_banner (cfg : Gc_backend.config) =
+  Printf.sprintf " gc=%s%s"
+    (Gc_backend.kind_name cfg.Gc_backend.kind)
+    (if cfg.Gc_backend.sabotage then " gc-sabotage" else "")
+
 let campaign_config ~seed ~duration =
   {
     Exp_config.default with
@@ -83,7 +103,7 @@ let campaign_config ~seed ~duration =
    sabotages the domains run's counter publication; the digest
    comparison must then exit 1 (a clean exit is a harness bug). *)
 let run_domains_campaigns (ename, engine) seed campaigns duration sabotage quota
-    quota_sabotage require_shed ndomains skip_publish_fence =
+    quota_sabotage require_shed ndomains skip_publish_fence vbuffer gc_cfg =
   let governor =
     if quota <= 0 then Governor.default_config
     else
@@ -92,14 +112,21 @@ let run_domains_campaigns (ename, engine) seed campaigns duration sabotage quota
   let driver_config =
     { State.default_config with State.zone_widen_sabotage = sabotage; governor }
   in
+  let driver_config =
+    if vbuffer <= 0 then driver_config
+    else { driver_config with State.vbuffer_bytes = vbuffer }
+  in
+  let engine config = Gc_backend.wrap_engine gc_cfg (engine config) in
   let campaign_seeds =
     let rng = Rng.create seed in
     List.init campaigns (fun _ -> Int64.to_int (Rng.next_int64 rng) land 0x3fffffff)
   in
-  Printf.printf "chaos: engine=%s seed=%d campaigns=%d duration=%.1fs mode=domains x%d sabotage=%d quota=%d%s%s\n"
+  Printf.printf "chaos: engine=%s seed=%d campaigns=%d duration=%.1fs mode=domains x%d sabotage=%d quota=%d%s%s%s%s\n"
     ename seed campaigns duration ndomains sabotage quota
     (if quota_sabotage then " quota-sabotage" else "")
-    (if skip_publish_fence then " skip-publish-fence" else "");
+    (if skip_publish_fence then " skip-publish-fence" else "")
+    (if vbuffer > 0 then Printf.sprintf " vbuffer=%d" vbuffer else "")
+    (gc_banner gc_cfg);
   let total_violations = ref 0 and total_mismatches = ref 0 in
   let shed_recoveries = ref 0 in
   List.iteri
@@ -268,17 +295,19 @@ let run_shard_campaigns seed campaigns duration shards scenario cross_pct crash_
 let rec run_campaigns (ename, engine) seed campaigns duration sabotage quota quota_sabotage
     require_shed crash_points ckpt_ms skip_tail_check stalls zombie_llts no_watchdog
     require_containment trace_out metrics_out mode ndomains skip_publish_fence shards
-    shard_scenario cross_pct crash_steps skip_coord_decision =
+    shard_scenario cross_pct crash_steps skip_coord_decision vbuffer gc_backend gc_sabotage =
+  let gc_cfg = gc_config ~kind:gc_backend ~sabotage:gc_sabotage in
   if shards > 0 then begin
     if
       sabotage <> 0 || quota > 0 || quota_sabotage || require_shed || skip_tail_check || stalls
       || zombie_llts || no_watchdog || require_containment || skip_publish_fence
       || trace_out <> None || metrics_out <> None
+      || vbuffer > 0 || gc_backend <> Gc_backend.Vcutter || gc_sabotage
     then begin
       prerr_endline
         "chaos: --shards composes only with --crash-points/--crash-steps/--skip-coord-decision/\
          --cross-pct/--shard-scenario/--ckpt-ms/--mode (the sharded campaign has its own \
-         sabotage and oracle)";
+         sabotage and oracle, and runs the built-in vcutter path)";
       exit 2
     end;
     run_shard_campaigns seed campaigns duration shards shard_scenario cross_pct crash_points
@@ -312,7 +341,7 @@ let rec run_campaigns (ename, engine) seed campaigns duration sabotage quota quo
         exit 2
       end;
       run_domains_campaigns (ename, engine) seed campaigns duration sabotage quota
-        quota_sabotage require_shed ndomains skip_publish_fence
+        quota_sabotage require_shed ndomains skip_publish_fence vbuffer gc_cfg
   | `Sim ->
       if skip_publish_fence then begin
         prerr_endline "chaos: --skip-publish-fence only sabotages --mode=domains runs";
@@ -320,11 +349,11 @@ let rec run_campaigns (ename, engine) seed campaigns duration sabotage quota quo
       end;
       run_sim_campaigns (ename, engine) seed campaigns duration sabotage quota quota_sabotage
         require_shed crash_points ckpt_ms skip_tail_check stalls zombie_llts no_watchdog
-        require_containment trace_out metrics_out
+        require_containment trace_out metrics_out vbuffer gc_cfg
 
 and run_sim_campaigns (ename, engine) seed campaigns duration sabotage quota quota_sabotage
     require_shed crash_points ckpt_ms skip_tail_check stalls zombie_llts no_watchdog
-    require_containment trace_out metrics_out =
+    require_containment trace_out metrics_out vbuffer gc_cfg =
   let governor =
     if quota <= 0 then Governor.default_config
     else { (Governor.governed ~quota_bytes:quota) with Governor.quota_ignore_sabotage = quota_sabotage }
@@ -339,6 +368,11 @@ and run_sim_campaigns (ename, engine) seed campaigns duration sabotage quota quo
       recovery_skip_tail_check = skip_tail_check;
     }
   in
+  let driver_config =
+    if vbuffer <= 0 then driver_config
+    else { driver_config with State.vbuffer_bytes = vbuffer }
+  in
+  let engine config = Gc_backend.wrap_engine gc_cfg (engine config) in
   let campaign_seeds =
     (* Derive one independent seed per campaign from the base seed. *)
     let rng = Rng.create seed in
@@ -358,14 +392,16 @@ and run_sim_campaigns (ename, engine) seed campaigns duration sabotage quota quo
         }
   in
   Printf.printf
-    "chaos: engine=%s seed=%d campaigns=%d duration=%.1fs sabotage=%d quota=%d%s%s%s%s%s%s\n"
+    "chaos: engine=%s seed=%d campaigns=%d duration=%.1fs sabotage=%d quota=%d%s%s%s%s%s%s%s%s\n"
     ename seed campaigns duration sabotage quota
     (if quota_sabotage then " quota-sabotage" else "")
     (if crash_points > 0 then Printf.sprintf " crash-points=%d" crash_points else "")
     (if skip_tail_check then " skip-tail-check" else "")
     (if stalls then " stalls" else "")
     (if zombie_llts then " zombie-llts" else "")
-    (if no_watchdog then " no-watchdog" else "");
+    (if no_watchdog then " no-watchdog" else "")
+    (if vbuffer > 0 then Printf.sprintf " vbuffer=%d" vbuffer else "")
+    (gc_banner gc_cfg);
   (match wdog with
   | Some w ->
       Printf.printf "chaos: liveness lag bound L=%dus (watchdog %s)\n"
@@ -659,6 +695,40 @@ let cmd =
              forcing the coordinator's decision record. The cross-shard atomicity oracle must \
              then fail the run (a clean exit is a harness bug).")
   in
+  let gc_backend =
+    Arg.(
+      value
+      & opt gc_backend_conv Gc_backend.Vcutter
+      & info [ "gc-backend" ] ~docv:"BACKEND"
+          ~doc:
+            "GC backend behind Driver.maintain: $(b,vcutter) (the paper's dead-zone design, \
+             the default — byte-identical to the un-hooked seed path), $(b,range) \
+             (Wei/Fatourou-style per-version range tracking with live-set subtraction) or \
+             $(b,bounded) (BBF+-style bounded-space collection with an enforced resident \
+             dead-version bound). All three run under the same governor budgets, invariant \
+             catalogue and fault plans.")
+  in
+  let vbuffer =
+    Arg.(
+      value & opt int 0
+      & info [ "vbuffer" ] ~docv:"BYTES"
+          ~doc:
+            "Override the vBuffer capacity (0 = the 8 MiB default). Dead-zone pruning keeps \
+             the buffer so small that default campaigns never harden a segment; a small \
+             vBuffer forces steady hardened-store traffic, which is what exercises the \
+             cutter-side reclaim paths of every GC backend.")
+  in
+  let gc_sabotage =
+    Arg.(
+      value & flag
+      & info [ "gc-sabotage" ]
+          ~doc:
+            "Arm the chosen backend's own sabotage knob: a cutter that skips every other \
+             dead candidate (vcutter), an announce-array off-by-one that never subtracts the \
+             oldest live reader (range), or a token-effort collector that ignores its space \
+             bound (bounded). The invariant catalogue must catch it — a clean exit is a \
+             harness bug.")
+  in
   Cmd.v
     (Cmd.info "chaos" ~doc:"Seeded fault-injection campaigns with online invariant checking.")
     Term.(
@@ -666,6 +736,6 @@ let cmd =
       $ quota_sabotage $ require_shed $ crash_points $ ckpt_ms $ skip_tail_check
       $ stalls $ zombie_llts $ no_watchdog $ require_containment $ trace_out $ metrics_out
       $ mode $ ndomains $ skip_publish_fence $ shards $ shard_scenario $ cross_pct
-      $ crash_steps $ skip_coord_decision)
+      $ crash_steps $ skip_coord_decision $ vbuffer $ gc_backend $ gc_sabotage)
 
 let () = exit (Cmd.eval cmd)

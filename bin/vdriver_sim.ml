@@ -17,6 +17,11 @@ let engine_conv =
     ( (fun s -> Result.map (fun e -> (s, e)) (engine_of_string s)),
       fun fmt (s, _) -> Format.pp_print_string fmt s )
 
+let gc_backend_conv =
+  Arg.conv
+    ( Gc_backend.kind_of_string,
+      fun fmt k -> Format.pp_print_string fmt (Gc_backend.kind_name k) )
+
 let run_cmd =
   let engine =
     Arg.(
@@ -85,8 +90,19 @@ let run_cmd =
       value & opt int 2
       & info [ "domains" ] ~docv:"N" ~doc:"Domain count for --mode=domains.")
   in
+  let gc_backend =
+    Arg.(
+      value
+      & opt gc_backend_conv Gc_backend.Vcutter
+      & info [ "gc-backend" ] ~docv:"BACKEND"
+          ~doc:
+            "GC backend for vDriver engines: $(b,vcutter) (the paper's dead-zone \
+             collector, the default), $(b,range) (per-version interval subtraction) or \
+             $(b,bounded) (enforced worst-case resident dead-version bound). Ignored by \
+             the pg/mysql baselines, which have no vDriver to collect.")
+  in
   let run (ename, engine) duration workers zipf llt_start llt_duration llts tables rows
-      record_bytes seed quota trace_out metrics_out mode ndomains =
+      record_bytes seed quota trace_out metrics_out mode ndomains gc_backend =
     let pattern = if zipf <= 0. then Access.Uniform else Access.Zipfian zipf in
     let cfg =
       {
@@ -106,19 +122,20 @@ let run_cmd =
       if quota <= 0 then State.default_config
       else { State.default_config with State.governor = Governor.governed ~quota_bytes:quota }
     in
+    let gc_cfg = { Gc_backend.default_config with Gc_backend.kind = gc_backend } in
+    let engine = Gc_backend.wrap_engine gc_cfg (engine driver_config) in
     let r =
       match mode with
       | `Sim ->
           Obs_export.with_obs ?trace:trace_out ?metrics:metrics_out (fun () ->
-              Runner.run ~engine:(engine driver_config) cfg)
+              Runner.run ~engine cfg)
       | `Domains ->
           if trace_out <> None || metrics_out <> None then begin
             prerr_endline "vdriver_sim: --trace/--metrics are Sim-only (tracing assumes \
                            the single-threaded scheduler)";
             exit 2
           end;
-          Runner.run ~engine:(engine driver_config)
-            ~mode:(Runner.Domains { domains = ndomains }) cfg
+          Runner.run ~engine ~mode:(Runner.Domains { domains = ndomains }) cfg
     in
     Printf.printf "# engine=%s duration=%.0fs workers=%d access=%s llts=%d\n" r.Runner.engine_name
       duration workers
@@ -160,7 +177,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run one experiment and print its time series.")
     Term.(
       const run $ engine $ duration $ workers $ zipf $ llt_start $ llt_duration $ llts $ tables
-      $ rows $ record_bytes $ seed $ quota $ trace_out $ metrics_out $ mode $ ndomains)
+      $ rows $ record_bytes $ seed $ quota $ trace_out $ metrics_out $ mode $ ndomains
+      $ gc_backend)
 
 let compare_cmd =
   let duration =

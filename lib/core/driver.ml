@@ -60,11 +60,31 @@ let shed_victims (t : t) ~now =
   end;
   shed
 
-(* One sweep + cut at the governor's current vCutter budget. *)
+(* One sweep + cut at the governor's current vCutter budget. An
+   installed GC backend replaces the pair wholesale (same budget, same
+   result shape); the default path is untouched so un-hooked runs stay
+   bit-identical to the seed. *)
 let maintain_pass (t : t) ~now =
-  let swept = Vsorter.sweep t ~now in
-  let cut = Vcutter.step t ~now ~max_segments:(Governor.max_segments t.State.governor) in
-  (swept, cut)
+  let budget = Governor.max_segments t.State.governor in
+  match t.State.gc_backend with
+  | None ->
+      let swept = Vsorter.sweep t ~now in
+      let cut = Vcutter.step t ~now ~max_segments:budget in
+      (swept, cut)
+  | Some h ->
+      let s = h.State.gh_step ~now ~budget in
+      ( {
+          Vsorter.segments_dropped = s.State.gs_segments_dropped;
+          versions_pruned = s.State.gs_versions_pruned;
+          segments_flushed = s.State.gs_segments_flushed;
+          versions_stored = s.State.gs_versions_stored;
+        },
+        {
+          Vcutter.segments_cut = s.State.gs_segments_cut;
+          versions_cut = s.State.gs_versions_cut;
+          bytes_reclaimed = s.State.gs_bytes_reclaimed;
+          segments_scanned = s.State.gs_segments_scanned;
+        } )
 
 (* Governed maintenance: sweep and cut, then — while the space reading
    keeps the ladder at Shedding (>= 90% of quota) or outright exceeds
@@ -222,6 +242,8 @@ let crash_restart (t : t) =
 
 let space_bytes = State.space_bytes
 let max_chain_length (t : t) = Llb.max_live_chain t.State.llb
+
+let gc_backend_name = State.gc_backend_name
 
 let chain_length (t : t) ~rid =
   match Llb.find t.State.llb ~rid with Some c -> Chain.live_length c | None -> 0

@@ -85,6 +85,10 @@ val max_chain_length : t -> int
 val chain_length : t -> rid:int -> int
 (** Live off-row versions of one record (0 if it has no chain). *)
 
+val gc_backend_name : t -> string
+(** Name of the installed GC backend (["vcutter"] for the built-in
+    path). Recorded in run digests and fault-report gauges. *)
+
 val chain_length_histogram : t -> Histogram.t
 val stats : t -> Prune_stats.t
 val store : t -> Version_store.t

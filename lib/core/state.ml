@@ -29,6 +29,30 @@ let default_config =
 
 type prune_origin = [ `Prune1 | `Prune2 | `Cut ]
 
+(* Flat counters for one GC pass, mode-independent. State cannot
+   reference Vsorter/Vcutter result records (they are defined above it
+   in the module order), so the backend hook reports a plain-int record
+   that Driver converts back into the pipeline's native result types. *)
+type gc_step = {
+  gs_segments_dropped : int;
+  gs_versions_pruned : int;
+  gs_segments_flushed : int;
+  gs_versions_stored : int;
+  gs_segments_cut : int;
+  gs_versions_cut : int;
+  gs_bytes_reclaimed : int;
+  gs_segments_scanned : int;
+}
+
+type gc_hook = {
+  gh_name : string;
+  gh_id : int;
+  gh_step : now:Clock.time -> budget:int -> gc_step;
+  gh_frontier : unit -> Timestamp.t;
+  gh_check : unit -> string list;
+  gh_gauges : unit -> (string * int) list;
+}
+
 type t = {
   config : config;
   txns : Txn_manager.t;
@@ -59,6 +83,7 @@ type t = {
   mutable shared_mgr : bool;
   mutable indoubt_resolver : (tid:int -> coord:int -> int option) option;
   mutable ckpt_indoubt : (unit -> (int * int) list * (int * int) list) option;
+  mutable gc_backend : gc_hook option;
 }
 
 let create ?(config = default_config) txns =
@@ -92,7 +117,11 @@ let create ?(config = default_config) txns =
     shared_mgr = false;
     indoubt_resolver = None;
     ckpt_indoubt = None;
+    gc_backend = None;
   }
+
+let gc_backend_name t =
+  match t.gc_backend with Some h -> h.gh_name | None -> "vcutter"
 
 (* The pruning policy, shared by vSorter (per-version and per-sealed-
    segment prunes) and vCutter (hardened-segment covers check). [lo, hi]

@@ -45,6 +45,41 @@ type prune_origin = [ `Prune1 | `Prune2 | `Cut ]
 (** Which stage discarded a version: relocation-time prune, sealed
     segment drop, or vCutter's hardened-segment cut. *)
 
+type gc_step = {
+  gs_segments_dropped : int;
+  gs_versions_pruned : int;
+  gs_segments_flushed : int;
+  gs_versions_stored : int;
+  gs_segments_cut : int;
+  gs_versions_cut : int;
+  gs_bytes_reclaimed : int;
+  gs_segments_scanned : int;
+}
+(** Flat counters for one GC maintenance pass. State sits below
+    {!Vsorter}/{!Vcutter} in the module order, so the backend hook
+    reports this mode-independent record and {!Driver.maintain}
+    converts it back into the pipeline's native result types. *)
+
+type gc_hook = {
+  gh_name : string;  (** backend name, e.g. ["vcutter"], ["range"], ["bounded"] *)
+  gh_id : int;  (** stable numeric id for deterministic gauges *)
+  gh_step : now:Clock.time -> budget:int -> gc_step;
+      (** one full maintenance pass (buffer + store) at the governor's
+          per-rung segment [budget] *)
+  gh_frontier : unit -> Timestamp.t;
+      (** the backend's reclamation frontier: the oldest timestamp it
+          still considers potentially live *)
+  gh_check : unit -> string list;
+      (** backend-relative online invariant (vCutter: cut completeness
+          within budget; BBF+: the resident dead-version bound);
+          nonempty means a violation *)
+  gh_gauges : unit -> (string * int) list;
+      (** backend-specific observability counters for benches/reports *)
+}
+(** A pluggable GC backend (DESIGN §4h). When installed it replaces the
+    sweep-then-cut pair inside {!Driver.maintain} wholesale; the default
+    [None] keeps the seed's vSorter/vCutter path, bit-identical. *)
+
 type t = {
   config : config;
   txns : Txn_manager.t;
@@ -119,9 +154,18 @@ type t = {
       (** installed by the shard group: snapshot of
           [(prepared, decisions)] 2PC state to persist in this shard's
           checkpoints (see {!Checkpoint.t}). *)
+  mutable gc_backend : gc_hook option;
+      (** installed by [Gc_backend.install]: routes every maintenance
+          pass through a pluggable collector instead of the built-in
+          sweep-then-cut pair. [None] (the default) runs the seed path
+          byte-identically. *)
 }
 
 val create : ?config:config -> Txn_manager.t -> t
+
+val gc_backend_name : t -> string
+(** Name of the installed GC backend; ["vcutter"] when none is
+    installed (the built-in path {e is} the vCutter design). *)
 
 val interval_dead : t -> lo:Timestamp.t -> hi:Timestamp.t -> bool
 (** The configured pruning predicate over the current zone snapshot

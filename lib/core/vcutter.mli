@@ -14,6 +14,16 @@ type result = {
   segments_scanned : int;
 }
 
+val cut_segment : State.t -> Segment.t -> now:Clock.time -> int * int
+(** Cut one hardened segment: delete its remaining live nodes from
+    their chains (through the collaborative TAS protocol), audit each
+    deletion, remove the segment from the store, the cache and the
+    index, and log the cut. Returns [(versions deleted, bytes freed)].
+    Exported so pluggable GC backends reuse the exact seed reclaim
+    path; already-deleted nodes are skipped (and not re-audited), so a
+    backend that reclaims per-version may finish a segment through this
+    without double counting. *)
+
 val step : State.t -> now:Clock.time -> max_segments:int -> result
 (** One cleaning pass: refresh zones, scan descriptors, cut up to
     [max_segments] dead segments. *)

@@ -26,6 +26,19 @@ val relocate : State.t -> Version.t -> now:Clock.time -> outcome
 (** Process one displaced version. May seal a full segment as a side
     effect (sealing never blocks on pruning — that is {!sweep}'s job). *)
 
+val drop_dead_segment : State.t -> Segment.t -> now:Clock.time -> int
+(** Discard a sealed segment that is dead in its entirety: every live
+    node is removed from its chain, audited and counted into the 2nd
+    prune, and the segment is dropped (with its WAL record). Returns the
+    number of versions pruned. The caller owns removing the segment from
+    [sealed] — exported so pluggable GC backends reuse the exact seed
+    reclaim path (audits, stats, WAL) instead of reimplementing it. *)
+
+val harden_segment : State.t -> Segment.t -> now:Clock.time -> int
+(** Flush one (already popped) sealed segment into the version store,
+    counting its versions as stored (with WAL record, metrics, trace).
+    Returns the number of versions stored. Exported for GC backends. *)
+
 val sweep : State.t -> now:Clock.time -> sweep_result
 (** One vBuffer maintenance pass: 2nd-prune sealed segments against
     fresh dead zones, then flush the oldest survivors while the buffer

@@ -151,6 +151,22 @@ let check_watchdog (d : Driver.t) =
   | None -> []
   | Some w -> List.map (fun msg -> v "watchdog-ladder" "%s" msg) (Watchdog.check_ladder w)
 
+(* ------------------------------------------------------------------ *)
+(* Pluggable GC backends: each installed backend carries its own
+   online invariant (vCutter: cut completeness within budget; BBF+:
+   the resident dead-version bound) behind [gh_check]. Prune soundness
+   needs no per-backend check — the universal audit re-judges every
+   deletion any backend makes. Empty when no backend is installed. *)
+
+let check_gc (d : Driver.t) =
+  let st : State.t = d in
+  match st.State.gc_backend with
+  | None -> []
+  | Some h ->
+      List.map
+        (fun msg -> v "gc-backend" "%s: %s" h.State.gh_name msg)
+        (h.State.gh_check ())
+
 let check_no_false_kill lease =
   List.filter_map
     (fun (c : Lease.cancel) ->
@@ -255,6 +271,7 @@ let finish_lag m ~now =
 
 let check_all d =
   check_chains d @ check_stats d @ check_store d @ check_governor d @ check_watchdog d
+  @ check_gc d
 
 (* ------------------------------------------------------------------ *)
 (* §3.5 post-crash emptiness *)

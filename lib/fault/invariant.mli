@@ -52,6 +52,14 @@ val check_watchdog : Driver.t -> violation list
     de-escalations only out of clean ones ({!Watchdog.check_ladder}).
     Empty when no watchdog is armed. *)
 
+val check_gc : Driver.t -> violation list
+(** The installed GC backend's own online invariant (DESIGN §4h):
+    vCutter's cut-completeness-within-budget, the BBF+ resident
+    dead-version bound. Prune {e soundness} stays universal — the
+    continuous audit judges every backend's deletions — so this only
+    carries the per-backend guarantee. Empty when no backend is
+    installed. *)
+
 val check_no_false_kill : Lease.t -> violation list
 (** The watchdog never cancels a transaction that made progress within
     its lease: every recorded cancellation must show idle time strictly
@@ -88,8 +96,8 @@ val lag_histogram : lag_monitor -> Histogram.t
 (** Per-segment reclaim lags in microseconds (bucket width 50 µs). *)
 
 val check_all : Driver.t -> violation list
-(** The steady-state checks above plus {!check_watchdog},
-    concatenated. *)
+(** The steady-state checks above plus {!check_watchdog} and
+    {!check_gc}, concatenated. *)
 
 val check_post_crash : Driver.t -> violation list
 (** To be run immediately after a crash-restart, before any new

@@ -1,6 +1,7 @@
 type t = {
   mode : string;
   domains : int;
+  gc_backend : string;
   commits : int;
   conflicts : int;
   llt_reads : int;
@@ -67,6 +68,8 @@ let of_result ~mode ~domains (cfg : Exp_config.t) (r : Runner.result) =
   {
     mode;
     domains;
+    gc_backend =
+      (match r.Runner.driver with Some d -> Driver.gc_backend_name d | None -> "vcutter");
     commits = r.Runner.commits;
     conflicts = r.Runner.conflicts;
     llt_reads = r.Runner.llt_reads;
@@ -156,6 +159,10 @@ let diff ?(tolerance = default_tolerance) a b =
       if d.prune_in_flight < 0 then
         say "%s mode: prune conservation violated (in_flight=%d)" d.mode d.prune_in_flight)
     [ a; b ];
+  (* The backend identity is part of the experiment, not a statistic:
+     any disagreement is a mismatch outright. *)
+  if a.gc_backend <> b.gc_backend then
+    say "gc_backend: %s=%s vs %s=%s" a.mode a.gc_backend b.mode b.gc_backend;
   approx "commits" tolerance.commits (fun d -> d.commits);
   approx "conflicts" tolerance.conflicts (fun d -> d.conflicts);
   approx "llt_reads" tolerance.llt_reads (fun d -> d.llt_reads);
@@ -185,6 +192,7 @@ let to_json d =
     [
       ("mode", Jsonx.Str d.mode);
       ("domains", Jsonx.Int d.domains);
+      ("gc_backend", Jsonx.Str d.gc_backend);
       ("commits", Jsonx.Int d.commits);
       ("conflicts", Jsonx.Int d.conflicts);
       ("llt_reads", Jsonx.Int d.llt_reads);
@@ -213,10 +221,11 @@ let to_json d =
 
 let pp fmt d =
   Format.fprintf fmt
-    "@[<v>[%s x%d] commits=%d conflicts=%d llt_reads=%d sheds=%d violations=%d@ \
+    "@[<v>[%s x%d gc=%s] commits=%d conflicts=%d llt_reads=%d sheds=%d violations=%d@ \
      space peak=%d final=%d chain peak=%d p50=%d p99=%d holes max=%d chains=%d@ \
      prune relocated=%d in_flight=%d completeness=%.3f lat p50=%dus p99=%dus lag=%dus@]"
-    d.mode d.domains d.commits d.conflicts d.llt_reads d.sheds d.invariant_violations
+    d.mode d.domains d.gc_backend d.commits d.conflicts d.llt_reads d.sheds
+    d.invariant_violations
     d.peak_space d.final_space d.peak_chain d.chain_p50 d.chain_p99 d.max_holes
     d.holey_chains d.prune_relocated d.prune_in_flight d.prune_completeness d.latency_p50_us
     d.latency_p99_us d.max_reclamation_lag_us

@@ -19,6 +19,9 @@
 type t = {
   mode : string;  (** "sim" or "domains" *)
   domains : int;
+  gc_backend : string;
+      (** installed GC backend name ("vcutter" un-hooked); part of the
+          experiment identity, compared exactly *)
   commits : int;
   conflicts : int;
   llt_reads : int;

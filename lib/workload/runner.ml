@@ -728,6 +728,16 @@ let run_sim ~engine ?faults ?watchdog (cfg : Exp_config.t) =
   Fault_report.set_gauge report "retries" !retries;
   Fault_report.set_gauge report "give-ups" !give_ups;
   Fault_report.set_gauge report "sheds" sheds;
+  (* GC backend identity and its counters, hooked runs only — the
+     default gauge surface stays untouched. *)
+  (match eng.Engine.driver with
+  | Some d -> (
+      match d.State.gc_backend with
+      | Some h ->
+          Fault_report.set_gauge report "gc-backend" h.State.gh_id;
+          List.iter (fun (k, n) -> Fault_report.set_gauge report k n) (h.State.gh_gauges ())
+      | None -> ())
+  | None -> ());
   if !crashes > 0 then begin
     Fault_report.set_gauge report "crash-restarts" !crashes;
     Fault_report.set_gauge report "records-replayed"
@@ -1337,6 +1347,14 @@ let run_domains ~engine ?faults ~domains ~skip_publish_fence (cfg : Exp_config.t
   Fault_report.set_gauge report "retries" agg.d_retries;
   Fault_report.set_gauge report "give-ups" agg.d_give_ups;
   Fault_report.set_gauge report "sheds" sheds;
+  (match eng.Engine.driver with
+  | Some d -> (
+      match d.State.gc_backend with
+      | Some h ->
+          Fault_report.set_gauge report "gc-backend" h.State.gh_id;
+          List.iter (fun (k, n) -> Fault_report.set_gauge report k n) (h.State.gh_gauges ())
+      | None -> ())
+  | None -> ());
   let max_reclamation_lag = match !lag_mon with Some m -> Invariant.max_lag m | None -> 0 in
   (match !lag_mon with
   | Some _ ->
