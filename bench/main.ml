@@ -25,6 +25,7 @@ let all : (string * (unit -> unit)) list =
     ("obs", Obs_point.run);
     ("multicore", Multicore.run);
     ("shard", Shard_bench.run);
+    ("partition", Partition_bench.run);
     ("gc_shootout", Gc_shootout.run);
   ]
 

@@ -186,7 +186,8 @@ let run_domains_campaigns (ename, engine) seed campaigns duration sabotage quota
    are never forced, so a skipped decision (statically) or a half-applied
    commit (after a crash) must fail the run. *)
 let run_shard_campaigns seed campaigns duration shards scenario cross_pct crash_points
-    ckpt_ms crash_steps skip_coord_decision mode ndomains =
+    ckpt_ms crash_steps skip_coord_decision mode ndomains net_loss net_dup net_delay_us
+    partitions net_sabotage =
   let scenario =
     match Shard_router.scenario_of_string scenario with
     | Some s -> s
@@ -194,18 +195,46 @@ let run_shard_campaigns seed campaigns duration shards scenario cross_pct crash_
         prerr_endline "chaos: unknown --shard-scenario (uniform | zipf | hot)";
         exit 2
   in
+  let net_sabotage =
+    match net_sabotage with
+    | None -> None
+    | Some s -> (
+        match Shard_group.net_sabotage_of_string s with
+        | Some _ as v -> v
+        | None ->
+            prerr_endline "chaos: unknown --net-sabotage (apply-on-timeout | ack-forge)";
+            exit 2)
+  in
+  let net_on = net_loss > 0. || net_dup > 0. || net_delay_us > 0 || partitions > 0 in
+  if net_on && shards < 2 then begin
+    prerr_endline "chaos: network faults need at least two shards (--shards=2+)";
+    exit 2
+  end;
+  if (net_on || net_sabotage <> None) && (crash_points > 0 || crash_steps > 0) then begin
+    prerr_endline
+      "chaos: network faults and crash schedules are separate campaigns for now — drop \
+       --crash-points/--crash-steps or the --net-* flags";
+    exit 2
+  end;
   let campaign_seeds =
     let rng = Rng.create seed in
     List.init campaigns (fun _ -> Int64.to_int (Rng.next_int64 rng) land 0x3fffffff)
   in
   Printf.printf
-    "chaos: sharded seed=%d campaigns=%d duration=%.1fs shards=%d scenario=%s cross=%d%%%s%s%s%s\n"
+    "chaos: sharded seed=%d campaigns=%d duration=%.1fs shards=%d scenario=%s cross=%d%%%s%s%s%s%s%s\n"
     seed campaigns duration shards
     (Shard_router.scenario_to_string scenario)
     cross_pct
     (if crash_points > 0 then Printf.sprintf " crash-points=%d" crash_points else "")
     (if crash_steps > 0 then Printf.sprintf " crash-steps=%d" crash_steps else "")
     (if skip_coord_decision then " skip-coord-decision" else "")
+    (if net_on then
+       Printf.sprintf " net[loss=%.2f dup=%.2f delay=%dus partitions=%d]" net_loss net_dup
+         net_delay_us partitions
+     else "")
+    (match net_sabotage with
+    | Some s -> Printf.sprintf " net-sabotage=%s" (Shard_group.net_sabotage_name s)
+    | None -> "")
     (match mode with `Domains -> Printf.sprintf " mode=domains x%d" ndomains | `Sim -> "");
   let total_violations = ref 0 and total_mismatches = ref 0 in
   List.iteri
@@ -236,6 +265,14 @@ let run_shard_campaigns seed campaigns duration shards scenario cross_pct crash_
               !s)
         end
       in
+      let net =
+        if not net_on then Net_fault.none
+        else
+          Fault_plan.random_net ~loss:net_loss ~dup:net_dup ~delay_us:net_delay_us
+            ~partitions ~shards
+            ~horizon:(Clock.seconds duration)
+            ~seed:campaign_seed ()
+      in
       let cfg =
         {
           (Shard_runner.default ~shards base) with
@@ -245,6 +282,8 @@ let run_shard_campaigns seed campaigns duration shards scenario cross_pct crash_
           crash_steps = steps;
           torn_tail = points <> [] || steps <> [];
           skip_coord_decision;
+          net;
+          net_sabotage;
         }
       in
       let r = Shard_runner.run cfg in
@@ -263,6 +302,15 @@ let run_shard_campaigns seed campaigns duration shards scenario cross_pct crash_
           (sum (fun (x : Engine.restart_info) -> x.Engine.truncated_frames))
           (sum (fun (x : Engine.restart_info) -> x.Engine.losers_rolled_back))
       end;
+      (match r.Shard_runner.digest.Shard_runner.d_net with
+      | None -> ()
+      | Some n ->
+          Printf.printf
+            "campaign %d net: sent=%d dropped=%d retried=%d net-aborts=%d indoubt-max=%dus \
+             indoubt-mean=%.0fus\n"
+            i n.Shard_runner.nd_sent n.Shard_runner.nd_dropped n.Shard_runner.nd_retried
+            r.Shard_runner.net_aborts r.Shard_runner.indoubt_max_us
+            r.Shard_runner.indoubt_mean_us);
       match mode with
       | `Sim -> ()
       | `Domains ->
@@ -295,7 +343,8 @@ let run_shard_campaigns seed campaigns duration shards scenario cross_pct crash_
 let rec run_campaigns (ename, engine) seed campaigns duration sabotage quota quota_sabotage
     require_shed crash_points ckpt_ms skip_tail_check stalls zombie_llts no_watchdog
     require_containment trace_out metrics_out mode ndomains skip_publish_fence shards
-    shard_scenario cross_pct crash_steps skip_coord_decision vbuffer gc_backend gc_sabotage =
+    shard_scenario cross_pct crash_steps skip_coord_decision vbuffer gc_backend gc_sabotage
+    net_loss net_dup net_delay_us partitions net_sabotage =
   let gc_cfg = gc_config ~kind:gc_backend ~sabotage:gc_sabotage in
   if shards > 0 then begin
     if
@@ -306,15 +355,23 @@ let rec run_campaigns (ename, engine) seed campaigns duration sabotage quota quo
     then begin
       prerr_endline
         "chaos: --shards composes only with --crash-points/--crash-steps/--skip-coord-decision/\
-         --cross-pct/--shard-scenario/--ckpt-ms/--mode (the sharded campaign has its own \
-         sabotage and oracle, and runs the built-in vcutter path)";
+         --cross-pct/--shard-scenario/--ckpt-ms/--mode/--net-loss/--net-dup/--net-delay-us/\
+         --partitions/--net-sabotage (the sharded campaign has its own sabotage and oracle, \
+         and runs the built-in vcutter path)";
       exit 2
     end;
     run_shard_campaigns seed campaigns duration shards shard_scenario cross_pct crash_points
-      ckpt_ms crash_steps skip_coord_decision mode ndomains
+      ckpt_ms crash_steps skip_coord_decision mode ndomains net_loss net_dup net_delay_us
+      partitions net_sabotage
   end
   else if crash_steps > 0 || skip_coord_decision then begin
     prerr_endline "chaos: --crash-steps/--skip-coord-decision need --shards";
+    exit 2
+  end
+  else if net_loss > 0. || net_dup > 0. || net_delay_us > 0 || partitions > 0
+          || net_sabotage <> None
+  then begin
+    prerr_endline "chaos: the --net-*/--partitions fault surface needs --shards";
     exit 2
   end
   else
@@ -729,6 +786,54 @@ let cmd =
              bound (bounded). The invariant catalogue must catch it — a clean exit is a \
              harness bug.")
   in
+  let net_loss =
+    Arg.(
+      value & opt float 0.
+      & info [ "net-loss" ] ~docv:"P"
+          ~doc:
+            "Sharded campaigns: per-message drop probability on the 2PC/epoch fabric \
+             (0 = the provably transparent pass-through). Lost votes retry under \
+             per-channel backoff; lost decisions resend until acked.")
+  in
+  let net_dup =
+    Arg.(
+      value & opt float 0.
+      & info [ "net-dup" ] ~docv:"P"
+          ~doc:
+            "Sharded campaigns: per-message duplication probability — every receive path \
+             must be idempotent for the run to stay clean.")
+  in
+  let net_delay_us =
+    Arg.(
+      value & opt int 0
+      & info [ "net-delay-us" ] ~docv:"US"
+          ~doc:
+            "Sharded campaigns: uniform per-message delay bound in simulated microseconds \
+             (drawn jitter — what reorders messages in flight).")
+  in
+  let partitions =
+    Arg.(
+      value & opt int 0
+      & info [ "partitions" ] ~docv:"N"
+          ~doc:
+            "Sharded campaigns: schedule N seeded bidirectional partitions per campaign, \
+             each isolating a drawn subset of shards for a drawn window that heals before \
+             the horizon. Single-shard traffic must keep committing; cross-shard \
+             transactions spanning the cut fail fast; in-doubt participants must resolve \
+             after heal.")
+  in
+  let net_sabotage =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "net-sabotage" ] ~docv:"MODE"
+          ~doc:
+            "Network-layer sabotage (sharded campaigns): $(b,apply-on-timeout) makes an \
+             in-doubt participant unilaterally apply a fabricated commit instead of asking \
+             the coordinator (the 2PC decision oracle must fail the run); $(b,ack-forge) \
+             makes a participant roll back yet ack the commit (the cross-shard atomicity \
+             oracle must fail the run). A clean exit is a harness bug.")
+  in
   Cmd.v
     (Cmd.info "chaos" ~doc:"Seeded fault-injection campaigns with online invariant checking.")
     Term.(
@@ -736,6 +841,7 @@ let cmd =
       $ quota_sabotage $ require_shed $ crash_points $ ckpt_ms $ skip_tail_check
       $ stalls $ zombie_llts $ no_watchdog $ require_containment $ trace_out $ metrics_out
       $ mode $ ndomains $ skip_publish_fence $ shards $ shard_scenario $ cross_pct
-      $ crash_steps $ skip_coord_decision $ vbuffer $ gc_backend $ gc_sabotage)
+      $ crash_steps $ skip_coord_decision $ vbuffer $ gc_backend $ gc_sabotage
+      $ net_loss $ net_dup $ net_delay_us $ partitions $ net_sabotage)
 
 let () = exit (Cmd.eval cmd)

@@ -37,6 +37,15 @@ val broadcast_ts : t -> Timestamp.t
 (** Oracle frontier [C^T] captured by the latest broadcast (0 before
     the first). *)
 
+val snapshot : t -> int * Zone_set.t * Timestamp.t
+(** [(epoch, zones, broadcast_ts)] of the latest broadcast as one
+    value — what a fabric-delivered epoch message carries. Subscribers
+    that consume broadcasts through a lossy channel must apply a
+    snapshot only when its epoch is newer than the one they hold:
+    epochs are monotone, so duplicates and reorderings are no-ops, and
+    a stale snapshot only under-prunes (the {!Epoch} soundness
+    argument is per-snapshot, not per-delivery). *)
+
 val subscribe : t -> unit -> Zone_set.t
 (** A pull closure suitable for [State.zone_source]: always yields the
     latest broadcast. *)

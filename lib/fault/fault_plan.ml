@@ -150,6 +150,36 @@ let random ?(crash_points = []) ?(torn_tail = false) ?(stalls = false)
     ~evict_storm_rate ~space_storm_rate ~cleaner_stall_rate ~llt_zombie_rate
     ~collab_delay_rate ~crash_points ~torn_tail ()
 
+(* Seeded network-fault config for the shard fabric. The partition
+   schedule is drawn from a stream forked off [seed] (distinct tweak
+   from [random]'s), so a campaign can pair a process-fault plan and a
+   net config from one seed without the draws interfering. Windows are
+   placed in the first ~70% of the horizon and always heal strictly
+   before it, so bounded-lag clocks get room to run. *)
+let random_net ?(loss = 0.1) ?(dup = 0.05) ?(delay_us = 150) ?(partitions = 1)
+    ~shards ~horizon ~seed () =
+  if shards < 2 then invalid_arg "Fault_plan.random_net: need at least two shards";
+  if horizon <= 0 then invalid_arg "Fault_plan.random_net: need a positive horizon";
+  if partitions < 0 then invalid_arg "Fault_plan.random_net: negative partition count";
+  let rng = Rng.create (seed lxor 0x6e6574fa) in
+  let parts =
+    List.init partitions (fun i ->
+        (* Isolate a seeded nonempty strict subset of the shard
+           endpoints (the coordinator service endpoint stays on the
+           majority side, so decisions remain reachable from there). *)
+        let k = 1 + Rng.int rng (max 1 (shards - 1)) in
+        let k = min k (shards - 1) in
+        let start = Rng.int rng shards in
+        let isolated = List.init k (fun j -> (start + j) mod shards) in
+        let span = max 1 (horizon * 7 / 10) in
+        let from_t = 1 + Rng.int rng span in
+        let width = 1 + Rng.int rng (max 1 (horizon / 5)) in
+        let heal_t = min (from_t + width) (horizon - 1) in
+        let heal_t = max heal_t (from_t + 1) in
+        { Net_fault.p_name = Printf.sprintf "p%d" i; isolated; from_t; heal_t })
+  in
+  Net_fault.make ~loss ~dup ~max_delay:(Clock.us delay_us) ~partitions:parts ~seed ()
+
 let seed t = t.plan_seed
 let check_period t = t.check_period
 let crash_points t = t.crash_points

@@ -102,6 +102,26 @@ val random :
     injection times untouched — the crash-free plan variant the
     sim-vs-domains differential harness runs both modes under. *)
 
+val random_net :
+  ?loss:float ->
+  ?dup:float ->
+  ?delay_us:int ->
+  ?partitions:int ->
+  shards:int ->
+  horizon:Clock.time ->
+  seed:int ->
+  unit ->
+  Net_fault.config
+(** A seeded {!Net_fault.config} for a [shards]-endpoint fabric:
+    [partitions] named windows, each isolating a drawn nonempty strict
+    subset of shards, opening inside the first ~70% of [horizon] and
+    healing strictly before it. Rates and the delay bound pass through
+    ([loss] 10%, [dup] 5%, [delay_us] 150 by default). The partition
+    draws come from a stream forked off [seed] with a tweak distinct
+    from {!random}'s, so pairing both from one seed keeps either's
+    draws stable. Raises [Invalid_argument] for [shards < 2], a
+    non-positive horizon, or a negative partition count. *)
+
 val seed : t -> int
 val check_period : t -> Clock.time
 

@@ -33,3 +33,16 @@ let next t =
 let reset t = t.attempts <- 0
 let attempts t = t.attempts
 let max_attempts t = t.max_attempts
+
+(* Per-channel stream forking: an FNV-1a fold of the channel name mixed
+   into the seed. Each channel owns an independent splitmix state, so a
+   retry storm on one channel (say, a partitioned net link) never
+   advances the jitter stream of another (say, the runner's shed-retry
+   policy) — both replay bit-for-bit from (seed, channel) alone. *)
+let channel_rng ~seed ~channel =
+  let h = ref 0x2545f4914f6cdd1d in
+  String.iter (fun c -> h := (!h lxor Char.code c) * 0x100000001b3) channel;
+  Rng.create (seed lxor !h)
+
+let channel ?base_ns ?cap_ns ?max_attempts ?jitter_frac ~seed ~channel:name () =
+  create ?base_ns ?cap_ns ?max_attempts ?jitter_frac (channel_rng ~seed ~channel:name)

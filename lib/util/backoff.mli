@@ -31,3 +31,30 @@ val attempts : t -> int
 (** Consecutive failures recorded since the last {!reset}. *)
 
 val max_attempts : t -> int
+
+(** {1 Per-channel stream forking}
+
+    Every retrying subsystem historically drew jitter from one
+    generator it was handed; two subsystems sharing a seed would then
+    perturb each other's streams through interleaving. A {e channel}
+    names an independent stream: the generator is a pure function of
+    [(seed, channel)], so net-layer retries on ["net:0->3"] can never
+    shift the governor's or runner's retry schedules, and each
+    channel's delay sequence replays bit-for-bit in isolation. *)
+
+val channel_rng : seed:int -> channel:string -> Rng.t
+(** The forked generator itself (FNV-1a of [channel] folded into
+    [seed]), for callers that draw more than backoff jitter from the
+    channel's stream. *)
+
+val channel :
+  ?base_ns:int ->
+  ?cap_ns:int ->
+  ?max_attempts:int ->
+  ?jitter_frac:float ->
+  seed:int ->
+  channel:string ->
+  unit ->
+  t
+(** A backoff policy over the channel's forked stream; parameters as
+    {!create}. *)

@@ -11,6 +11,9 @@ type cfg = {
   torn_tail : bool;
   skip_coord_decision : bool;
   check_period : Clock.time; (* invariant sweep; 0 disables *)
+  net : Net_fault.config; (* message-fault model; none = transparent *)
+  net_sabotage : Shard_group.net_sabotage option;
+  net_tick : Clock.time; (* resolver sweep period (faulty configs only) *)
 }
 
 let default ~shards base =
@@ -25,7 +28,22 @@ let default ~shards base =
     torn_tail = false;
     skip_coord_decision = false;
     check_period = Clock.ms 50;
+    net = Net_fault.none;
+    net_sabotage = None;
+    net_tick = Clock.ms 1;
   }
+
+(* Anything that makes the fabric non-transparent: the resolver process
+   must run, and the digest grows a net block. *)
+let net_active cfg = (not (Net_fault.is_none cfg.net)) || cfg.net_sabotage <> None
+
+type net_digest = {
+  nd_sent : int;
+  nd_dropped : int; (* loss + partition drops *)
+  nd_retried : int;
+  nd_net_aborts : int; (* cross-shard fail-fasts *)
+  nd_indoubt_max_us : int; (* longest in-doubt residence *)
+}
 
 type digest = {
   d_mode : string;
@@ -36,20 +54,38 @@ type digest = {
   d_violations : int;
   d_peak_space : int;
   d_throughput : float;
+  d_net : net_digest option; (* absent for transparent-fabric runs *)
 }
 
 let digest_to_json d =
   Jsonx.Obj
-    [
-      ("mode", Jsonx.Str d.d_mode);
-      ("shards", Jsonx.Int d.d_shards);
-      ("commits", Jsonx.Int d.d_commits);
-      ("conflicts", Jsonx.Int d.d_conflicts);
-      ("cross_commits", Jsonx.Int d.d_cross_commits);
-      ("violations", Jsonx.Int d.d_violations);
-      ("peak_space", Jsonx.Int d.d_peak_space);
-      ("throughput", Jsonx.Float d.d_throughput);
-    ]
+    ([
+       ("mode", Jsonx.Str d.d_mode);
+       ("shards", Jsonx.Int d.d_shards);
+       ("commits", Jsonx.Int d.d_commits);
+       ("conflicts", Jsonx.Int d.d_conflicts);
+       ("cross_commits", Jsonx.Int d.d_cross_commits);
+       ("violations", Jsonx.Int d.d_violations);
+       ("peak_space", Jsonx.Int d.d_peak_space);
+       ("throughput", Jsonx.Float d.d_throughput);
+     ]
+    @
+    (* The net block appears only when a fault config was active, so
+       no-fault digests stay byte-identical to the pre-net layer. *)
+    match d.d_net with
+    | None -> []
+    | Some n ->
+        [
+          ( "net",
+            Jsonx.Obj
+              [
+                ("sent", Jsonx.Int n.nd_sent);
+                ("dropped", Jsonx.Int n.nd_dropped);
+                ("retried", Jsonx.Int n.nd_retried);
+                ("net_aborts", Jsonx.Int n.nd_net_aborts);
+                ("indoubt_max_us", Jsonx.Int n.nd_indoubt_max_us);
+              ] );
+        ])
 
 (* Sim vs Domains agree on safety exactly and on load statistically:
    Domains interleaves for real, so counts drift with scheduling. Slack
@@ -73,6 +109,15 @@ let digest_diff ?(tol = 0.5) a b =
   (* Cross-shard traffic must exist in both modes or neither. *)
   if (a.d_cross_commits = 0) <> (b.d_cross_commits = 0) then
     say "cross_commits: %d vs %d" a.d_cross_commits b.d_cross_commits;
+  (* Net blocks must agree on presence; volume drifts with real
+     interleaving, so only gross disagreement (an order of magnitude
+     beyond a floor) counts. *)
+  (match (a.d_net, b.d_net) with
+  | None, None -> ()
+  | Some _, None | None, Some _ -> say "net digest present in one mode only"
+  | Some na, Some nb ->
+      if not (close ~rel:4.0 ~abs:4096 na.nd_sent nb.nd_sent) then
+        say "net sent: %d vs %d (beyond 5x + 4096)" na.nd_sent nb.nd_sent);
   List.rev !acc
 
 type result = {
@@ -89,6 +134,9 @@ type result = {
   final_space : int;
   epochs : int;
   throughput : float;
+  net_aborts : int; (* cross-shard fail-fasts under partition/loss *)
+  indoubt_max_us : int;
+  indoubt_mean_us : float;
   digest : digest;
 }
 
@@ -96,7 +144,7 @@ exception Crash_now
 (* Raised by the 2PC step hook to die at an exact protocol point; caught
    by the owning worker, which then runs the whole-system restart. *)
 
-let make_digest ~mode ~shards ~commits ~conflicts ~cross ~violations ~peak ~tput =
+let make_digest ~mode ~shards ~commits ~conflicts ~cross ~violations ~peak ~tput ~net =
   {
     d_mode = mode;
     d_shards = shards;
@@ -106,7 +154,47 @@ let make_digest ~mode ~shards ~commits ~conflicts ~cross ~violations ~peak ~tput
     d_violations = violations;
     d_peak_space = peak;
     d_throughput = tput;
+    d_net = net;
   }
+
+(* Net block + per-shard gauges, recorded only for active fault
+   configs: transparent runs keep their pre-net report and digest
+   bytes. *)
+let net_digest_of g =
+  let s = Shard_group.net_stats g in
+  {
+    nd_sent = s.Bus.sent;
+    nd_dropped = s.Bus.dropped_loss + s.Bus.dropped_partition;
+    nd_retried = s.Bus.retried;
+    nd_net_aborts = Shard_group.net_aborts g;
+    nd_indoubt_max_us = Shard_group.max_indoubt_residence g / 1000;
+  }
+
+let record_net_gauges report g =
+  let s = Shard_group.net_stats g in
+  Fault_report.set_gauge report "net-sent" s.Bus.sent;
+  Fault_report.set_gauge report "net-dropped" (s.Bus.dropped_loss + s.Bus.dropped_partition);
+  Fault_report.set_gauge report "net-duplicated" s.Bus.duplicated;
+  Fault_report.set_gauge report "net-retried" s.Bus.retried;
+  Fault_report.set_gauge report "net-aborts" (Shard_group.net_aborts g);
+  Fault_report.set_gauge report "indoubt-max-us" (Shard_group.max_indoubt_residence g / 1000);
+  Metrics.set_gauge "net.sent" (float_of_int s.Bus.sent);
+  Metrics.set_gauge "net.dropped" (float_of_int (s.Bus.dropped_loss + s.Bus.dropped_partition));
+  Metrics.set_gauge "net.retried" (float_of_int s.Bus.retried);
+  for sid = 0 to Shard_group.shard_count g - 1 do
+    Fault_report.set_gauge report
+      (Printf.sprintf "indoubt-s%d" sid)
+      (Shard_group.indoubt_count g ~sid);
+    Fault_report.set_gauge report
+      (Printf.sprintf "epoch-lag-s%d" sid)
+      (Shard_group.epoch_lag g ~sid);
+    Metrics.set_gauge
+      (Printf.sprintf "shard.indoubt.s%d" sid)
+      (float_of_int (Shard_group.indoubt_count g ~sid));
+    Metrics.set_gauge
+      (Printf.sprintf "shard.epoch_lag.s%d" sid)
+      (float_of_int (Shard_group.epoch_lag g ~sid))
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Sim mode: deterministic discrete-event campaign with the full fault
@@ -115,8 +203,10 @@ let make_digest ~mode ~shards ~commits ~conflicts ~cross ~violations ~peak ~tput
 let run_sim (cfg : cfg) =
   Failpoint.with_scope @@ fun () ->
   let base = cfg.base in
-  let g = Shard_group.create ~shards:cfg.shards base.Exp_config.schema in
+  let g = Shard_group.create ~net:cfg.net ~shards:cfg.shards base.Exp_config.schema in
   Shard_group.set_skip_coord_decision g cfg.skip_coord_decision;
+  Shard_group.set_net_sabotage g cfg.net_sabotage;
+  let faulty = net_active cfg in
   let row = Exp_config.pattern_at base 0.0 in
   let router = Shard_router.create ~row ~shards:cfg.shards base.Exp_config.schema cfg.scenario in
   let sched = Scheduler.create () in
@@ -246,9 +336,18 @@ let run_sim (cfg : cfg) =
                     t := t';
                     raise Exit
               done;
-              t := Shard_group.commit g txn ~now:!t;
-              incr commits;
-              Scheduler.Sleep_until !t
+              match Shard_group.commit_checked g txn ~now:!t with
+              | Shard_group.Committed t' ->
+                  t := t';
+                  incr commits;
+                  Scheduler.Sleep_until !t
+              | Shard_group.Net_abort t' ->
+                  (* Cross-shard fail-fast: a participant was
+                     unreachable. Back off hard before offering more
+                     load — the degradation contract is pressure, not a
+                     wedged pipeline. *)
+                  t := t';
+                  Scheduler.Sleep_until (!t + Shard_group.net_indoubt_after g)
             with
             | Exit ->
                 incr conflicts;
@@ -310,8 +409,16 @@ let run_sim (cfg : cfg) =
   (* The epoch broadcaster: the only process that reads the global live
      table for pruning purposes. *)
   Scheduler.spawn sched ~name:"epoch" ~at:cfg.epoch_period (fun now ->
-      ignore (Shard_group.broadcast g);
+      ignore (Shard_group.broadcast ~now g);
       if now >= horizon then Scheduler.Finished else Scheduler.Sleep_until (now + cfg.epoch_period));
+  (* The net resolver: pump due frames, resend unacked decisions, run
+     the in-doubt termination protocol. Spawned only for active fault
+     configs, so the transparent fabric adds no scheduler process (and
+     keeps dispatch-probe crash timing byte-identical). *)
+  if faulty then
+    Scheduler.spawn sched ~name:"net" ~at:cfg.net_tick (fun now ->
+        (try Shard_group.tick g ~now with Crash_now -> do_crash_restart ~now);
+        if now >= horizon then Scheduler.Finished else Scheduler.Sleep_until (now + cfg.net_tick));
   (* Fuzzy checkpoints, every shard in turn. *)
   if base.Exp_config.ckpt_period_s > 0. then begin
     let period = max 1 (Clock.seconds base.Exp_config.ckpt_period_s) in
@@ -361,6 +468,13 @@ let run_sim (cfg : cfg) =
   in
   Scheduler.clear_probe sched;
   Shard_group.set_on_step g None;
+  (* Post-horizon settlement for faulty fabrics: drain in-flight
+     frames and resolve every in-doubt transaction the horizon cut
+     off (a never-healing partition legitimately leaves residue; the
+     liveness check below skips still-severed pairs). *)
+  let endt =
+    if faulty && not engine_failed then Shard_group.quiesce g ~now:horizon else horizon
+  in
   if not engine_failed then Shard_group.finish g ~now:horizon;
   Array.iter (fun (sh : Shard.t) -> Invariant.remove_prune_audit sh.Shard.driver) (Shard_group.shards g);
   (* End-of-run verdicts: the full catalogue per shard, and the
@@ -369,6 +483,14 @@ let run_sim (cfg : cfg) =
     (fun (sh : Shard.t) -> record_all ~at:horizon (Invariant.check_all sh.Shard.driver))
     (Shard_group.shards g);
   record_all ~at:horizon (Invariant.check_cross_shard_atomicity (Shard_group.wals g));
+  if faulty then begin
+    let of_pairs ps =
+      List.map (fun (invariant, detail) -> { Invariant.invariant; detail }) ps
+    in
+    record_all ~at:endt (of_pairs (Shard_group.check_indoubt_liveness g ~now:endt));
+    record_all ~at:endt (of_pairs (Shard_group.check_epoch_lag g ~now:endt));
+    record_net_gauges report g
+  end;
   let final = Shard_group.sample g in
   if final.Engine.version_bytes > !peak_space then peak_space := final.Engine.version_bytes;
   Fault_report.set_gauge report "commits" !commits;
@@ -392,11 +514,15 @@ let run_sim (cfg : cfg) =
     final_space = final.Engine.version_bytes;
     epochs = Epoch.epoch (Shard_group.epoch g);
     throughput = tput;
+    net_aborts = Shard_group.net_aborts g;
+    indoubt_max_us = Shard_group.max_indoubt_residence g / 1000;
+    indoubt_mean_us = Shard_group.mean_indoubt_residence g /. 1000.;
     digest =
       make_digest ~mode:"sim" ~shards:cfg.shards ~commits:!commits ~conflicts:!conflicts
         ~cross:(Shard_group.cross_commits g)
         ~violations:(Fault_report.violation_count report)
-        ~peak:!peak_space ~tput;
+        ~peak:!peak_space ~tput
+        ~net:(if faulty then Some (net_digest_of g) else None);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -415,8 +541,10 @@ let run_domains ~domains (cfg : cfg) =
   if domains < 1 then invalid_arg "Shard_runner: need at least one domain";
   Failpoint.with_scope @@ fun () ->
   let base = cfg.base in
-  let g = Shard_group.create ~shards:cfg.shards base.Exp_config.schema in
+  let g = Shard_group.create ~net:cfg.net ~shards:cfg.shards base.Exp_config.schema in
   Shard_group.set_skip_coord_decision g cfg.skip_coord_decision;
+  Shard_group.set_net_sabotage g cfg.net_sabotage;
+  let faulty = net_active cfg in
   let row = Exp_config.pattern_at base 0.0 in
   let router = Shard_router.create ~row ~shards:cfg.shards base.Exp_config.schema cfg.scenario in
   let horizon = Clock.seconds base.Exp_config.duration_s in
@@ -479,9 +607,16 @@ let run_domains ~domains (cfg : cfg) =
                     t := t';
                     raise Exit
               done;
-              t := locked (fun () -> Shard_group.commit g txn ~now:!t);
-              Atomic.incr commits;
-              Exec.Sleep_until !t
+              (match locked (fun () -> Shard_group.commit_checked g txn ~now:!t) with
+              | Shard_group.Committed t' ->
+                  t := t';
+                  Atomic.incr commits;
+                  Exec.Sleep_until !t
+              | Shard_group.Net_abort t' ->
+                  (* Fail-fast under partition: back off for the in-doubt
+                     window before offering new load (back-pressure). *)
+                  t := t';
+                  Exec.Sleep_until (!t + Shard_group.net_indoubt_after g))
             with Exit ->
               Atomic.incr conflicts;
               t := locked (fun () -> Shard_group.abort g txn ~now:!t);
@@ -529,8 +664,12 @@ let run_domains ~domains (cfg : cfg) =
         Exec.Sleep_until (max t (now + base.Exp_config.gc_period))
       end);
   Exec.spawn exec ~name:"epoch" ~at:cfg.epoch_period (fun now ->
-      ignore (locked (fun () -> Shard_group.broadcast g));
+      ignore (locked (fun () -> Shard_group.broadcast ~now g));
       if now >= horizon then Exec.Finished else Exec.Sleep_until (now + cfg.epoch_period));
+  if faulty then
+    Exec.spawn exec ~name:"net" ~at:cfg.net_tick (fun now ->
+        locked (fun () -> Shard_group.tick g ~now);
+        if now >= horizon then Exec.Finished else Exec.Sleep_until (now + cfg.net_tick));
   if base.Exp_config.ckpt_period_s > 0. then begin
     let period = max 1 (Clock.seconds base.Exp_config.ckpt_period_s) in
     Exec.spawn exec ~name:"checkpointer" ~at:period (fun now ->
@@ -550,6 +689,9 @@ let run_domains ~domains (cfg : cfg) =
         Atomic.set peak_space s.Engine.version_bytes;
       if now >= horizon then Exec.Finished else Exec.Sleep_until (now + sample_period));
   ignore (Exec.run exec ~until:horizon);
+  let endt =
+    if faulty then locked (fun () -> Shard_group.quiesce g ~now:horizon) else horizon
+  in
   locked (fun () -> Shard_group.finish g ~now:horizon);
   let report = Fault_report.create () in
   let record_all ~at vs =
@@ -562,6 +704,14 @@ let run_domains ~domains (cfg : cfg) =
     (fun (sh : Shard.t) -> record_all ~at:horizon (Invariant.check_all sh.Shard.driver))
     (Shard_group.shards g);
   record_all ~at:horizon (Invariant.check_cross_shard_atomicity (Shard_group.wals g));
+  if faulty then begin
+    let of_pairs ps =
+      List.map (fun (invariant, detail) -> { Invariant.invariant; detail }) ps
+    in
+    record_all ~at:endt (of_pairs (Shard_group.check_indoubt_liveness g ~now:endt));
+    record_all ~at:endt (of_pairs (Shard_group.check_epoch_lag g ~now:endt));
+    record_net_gauges report g
+  end;
   let final = Shard_group.sample g in
   if final.Engine.version_bytes > Atomic.get peak_space then
     Atomic.set peak_space final.Engine.version_bytes;
@@ -580,12 +730,16 @@ let run_domains ~domains (cfg : cfg) =
     final_space = final.Engine.version_bytes;
     epochs = Epoch.epoch (Shard_group.epoch g);
     throughput = tput;
+    net_aborts = Shard_group.net_aborts g;
+    indoubt_max_us = Shard_group.max_indoubt_residence g / 1000;
+    indoubt_mean_us = Shard_group.mean_indoubt_residence g /. 1000.;
     digest =
       make_digest ~mode:"domains" ~shards:cfg.shards ~commits:(Atomic.get commits)
         ~conflicts:(Atomic.get conflicts)
         ~cross:(Shard_group.cross_commits g)
         ~violations:(Fault_report.violation_count report)
-        ~peak:(Atomic.get peak_space) ~tput;
+        ~peak:(Atomic.get peak_space) ~tput
+        ~net:(if faulty then Some (net_digest_of g) else None);
   }
 
 let run ?(mode = Sim) cfg =

@@ -19,7 +19,16 @@
     costs as Sim, interleaved for real, with one mutex serializing
     group calls at operation granularity — statistically reproducible,
     compared across modes with {!digest_diff}. Crash faults are
-    Sim-only and rejected ([Invalid_argument]). *)
+    Sim-only and rejected ([Invalid_argument]).
+
+    Both modes can attach a {!Net_fault} config: the 2PC and epoch
+    choreography then rides the seeded lossy fabric, a periodic
+    resolver task pumps it (resends, in-doubt termination), post-run
+    the fabric is quiesced and the network invariants
+    (in-doubt-liveness, reclamation-lag-after-heal) recorded, and the
+    digest grows a net block. With [Net_fault.none] and no sabotage the
+    fabric is provably transparent — reports and digests are
+    byte-identical to the pre-fabric driver. *)
 
 type mode = Sim | Domains of { domains : int }
 
@@ -34,11 +43,22 @@ type cfg = {
   torn_tail : bool;
   skip_coord_decision : bool;  (** sabotage: never force the decision record *)
   check_period : Clock.time;  (** invariant sweep period; 0 disables *)
+  net : Net_fault.config;  (** message-fault model; {!Net_fault.none} = transparent *)
+  net_sabotage : Shard_group.net_sabotage option;
+  net_tick : Clock.time;  (** resolver sweep period (active fault configs only) *)
 }
 
 val default : shards:int -> Exp_config.t -> cfg
 (** Uniform routing, 30% cross-shard, 5 ms epochs, 50 ms sweeps, no
-    faults. *)
+    faults, transparent fabric, 1 ms resolver ticks. *)
+
+type net_digest = {
+  nd_sent : int;
+  nd_dropped : int;  (** loss + partition drops *)
+  nd_retried : int;
+  nd_net_aborts : int;  (** cross-shard fail-fasts *)
+  nd_indoubt_max_us : int;  (** longest in-doubt residence *)
+}
 
 type digest = {
   d_mode : string;
@@ -49,6 +69,10 @@ type digest = {
   d_violations : int;
   d_peak_space : int;
   d_throughput : float;
+  d_net : net_digest option;
+      (** present iff a fault config or net sabotage was active — the
+          JSON of a transparent run stays byte-identical to the
+          pre-fabric driver *)
 }
 
 val digest_to_json : digest -> Jsonx.t
@@ -57,8 +81,9 @@ val digest_diff : ?tol:float -> digest -> digest -> string list
 (** Empty when the digests agree: violations exactly zero in both,
     commits within the relative tolerance (default 0.5 — Domains
     interleaves for real) with a 400-commit floor, peak space within 2x
-    with a 64 KiB floor, and cross-shard traffic present in both or
-    neither. *)
+    with a 64 KiB floor, cross-shard traffic present in both or
+    neither, net blocks present in both or neither, and net send
+    volume within gross (5x + 4096) agreement. *)
 
 type result = {
   commits : int;
@@ -74,6 +99,9 @@ type result = {
   final_space : int;
   epochs : int;
   throughput : float;  (** commits/s over the whole run *)
+  net_aborts : int;  (** cross-shard transactions failed fast as unreachable *)
+  indoubt_max_us : int;  (** longest prepared→resolved residence (µs) *)
+  indoubt_mean_us : float;
   digest : digest;
 }
 
