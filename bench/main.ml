@@ -27,6 +27,7 @@ let all : (string * (unit -> unit)) list =
     ("shard", Shard_bench.run);
     ("partition", Partition_bench.run);
     ("gc_shootout", Gc_shootout.run);
+    ("failover", Failover.run);
   ]
 
 let () =

@@ -187,7 +187,7 @@ let run_domains_campaigns (ename, engine) seed campaigns duration sabotage quota
    commit (after a crash) must fail the run. *)
 let run_shard_campaigns seed campaigns duration shards scenario cross_pct crash_points
     ckpt_ms crash_steps skip_coord_decision mode ndomains net_loss net_dup net_delay_us
-    partitions net_sabotage =
+    partitions net_sabotage replicas rep_quorum kill_nodes kill_steps failover_sabotage =
   let scenario =
     match Shard_router.scenario_of_string scenario with
     | Some s -> s
@@ -205,6 +205,17 @@ let run_shard_campaigns seed campaigns duration shards scenario cross_pct crash_
             prerr_endline "chaos: unknown --net-sabotage (apply-on-timeout | ack-forge)";
             exit 2)
   in
+  let failover_sabotage =
+    match failover_sabotage with
+    | None -> None
+    | Some s -> (
+        match Replica.sabotage_of_string s with
+        | Some _ as v -> v
+        | None ->
+            prerr_endline
+              "chaos: unknown --failover-sabotage (ack-before-replicate | stale-primary-writes)";
+            exit 2)
+  in
   let net_on = net_loss > 0. || net_dup > 0. || net_delay_us > 0 || partitions > 0 in
   if net_on && shards < 2 then begin
     prerr_endline "chaos: network faults need at least two shards (--shards=2+)";
@@ -216,12 +227,27 @@ let run_shard_campaigns seed campaigns duration shards scenario cross_pct crash_
        --crash-points/--crash-steps or the --net-* flags";
     exit 2
   end;
+  if replicas > 0 && (crash_points > 0 || crash_steps > 0) then begin
+    prerr_endline
+      "chaos: whole-system crash schedules do not compose with replication (power loss \
+       truncates the device out from under the mirror protocol) — drop \
+       --crash-points/--crash-steps or --replicas";
+    exit 2
+  end;
+  if replicas = 0 && (kill_nodes || kill_steps > 0 || failover_sabotage <> None) then begin
+    prerr_endline "chaos: --kill-nodes/--kill-steps/--failover-sabotage need --replicas";
+    exit 2
+  end;
+  if rep_quorum > 0 && (replicas = 0 || rep_quorum > replicas + 1) then begin
+    prerr_endline "chaos: --rep-quorum needs --replicas and at most replicas+1";
+    exit 2
+  end;
   let campaign_seeds =
     let rng = Rng.create seed in
     List.init campaigns (fun _ -> Int64.to_int (Rng.next_int64 rng) land 0x3fffffff)
   in
   Printf.printf
-    "chaos: sharded seed=%d campaigns=%d duration=%.1fs shards=%d scenario=%s cross=%d%%%s%s%s%s%s%s\n"
+    "chaos: sharded seed=%d campaigns=%d duration=%.1fs shards=%d scenario=%s cross=%d%%%s%s%s%s%s%s%s%s\n"
     seed campaigns duration shards
     (Shard_router.scenario_to_string scenario)
     cross_pct
@@ -234,6 +260,15 @@ let run_shard_campaigns seed campaigns duration shards scenario cross_pct crash_
      else "")
     (match net_sabotage with
     | Some s -> Printf.sprintf " net-sabotage=%s" (Shard_group.net_sabotage_name s)
+    | None -> "")
+    (if replicas > 0 then
+       Printf.sprintf " replicas=%d%s%s%s" replicas
+         (if rep_quorum > 0 then Printf.sprintf " quorum=%d" rep_quorum else "")
+         (if kill_nodes then " kill-nodes" else "")
+         (if kill_steps > 0 then Printf.sprintf " kill-steps=%d" kill_steps else "")
+     else "")
+    (match failover_sabotage with
+    | Some s -> Printf.sprintf " failover-sabotage=%s" (Replica.sabotage_name s)
     | None -> "")
     (match mode with `Domains -> Printf.sprintf " mode=domains x%d" ndomains | `Sim -> "");
   let total_violations = ref 0 and total_mismatches = ref 0 in
@@ -273,6 +308,19 @@ let run_shard_campaigns seed campaigns duration shards scenario cross_pct crash_
             ~horizon:(Clock.seconds duration)
             ~seed:campaign_seed ()
       in
+      let ksteps =
+        (* Replication-step kill schedule: seeded cumulative gaps wide
+           enough that the group recovers (promotes and re-syncs)
+           between kills. *)
+        if kill_steps <= 0 then []
+        else begin
+          let rng = Rng.create (campaign_seed lxor 0x6b737470) in
+          let s = ref 0 in
+          List.init kill_steps (fun _ ->
+              s := !s + 50 + Rng.int rng 400;
+              !s)
+        end
+      in
       let cfg =
         {
           (Shard_runner.default ~shards base) with
@@ -284,6 +332,13 @@ let run_shard_campaigns seed campaigns duration shards scenario cross_pct crash_
           skip_coord_decision;
           net;
           net_sabotage;
+          replicas;
+          rep_quorum = (if rep_quorum > 0 then Some rep_quorum else None);
+          kill_steps = ksteps;
+          node_faults =
+            (if kill_nodes then Some (Fault_plan.random_nodes ~seed:campaign_seed ())
+             else None);
+          failover_sabotage;
         }
       in
       let r = Shard_runner.run cfg in
@@ -311,6 +366,15 @@ let run_shard_campaigns seed campaigns duration shards scenario cross_pct crash_
             i n.Shard_runner.nd_sent n.Shard_runner.nd_dropped n.Shard_runner.nd_retried
             r.Shard_runner.net_aborts r.Shard_runner.indoubt_max_us
             r.Shard_runner.indoubt_mean_us);
+      (match r.Shard_runner.digest.Shard_runner.d_repl with
+      | None -> ()
+      | Some d ->
+          Printf.printf
+            "campaign %d repl: kills=%d revives=%d promotions=%d fencings=%d stale-acks=%d \
+             restarts=%d failover-lag-max=%dus\n"
+            i d.Shard_runner.rd_kills d.Shard_runner.rd_revives d.Shard_runner.rd_promotions
+            d.Shard_runner.rd_fencings d.Shard_runner.rd_stale_acks d.Shard_runner.rd_restarts
+            d.Shard_runner.rd_lag_max_us);
       match mode with
       | `Sim -> ()
       | `Domains ->
@@ -344,7 +408,8 @@ let rec run_campaigns (ename, engine) seed campaigns duration sabotage quota quo
     require_shed crash_points ckpt_ms skip_tail_check stalls zombie_llts no_watchdog
     require_containment trace_out metrics_out mode ndomains skip_publish_fence shards
     shard_scenario cross_pct crash_steps skip_coord_decision vbuffer gc_backend gc_sabotage
-    net_loss net_dup net_delay_us partitions net_sabotage =
+    net_loss net_dup net_delay_us partitions net_sabotage replicas rep_quorum kill_nodes
+    kill_steps failover_sabotage =
   let gc_cfg = gc_config ~kind:gc_backend ~sabotage:gc_sabotage in
   if shards > 0 then begin
     if
@@ -356,16 +421,25 @@ let rec run_campaigns (ename, engine) seed campaigns duration sabotage quota quo
       prerr_endline
         "chaos: --shards composes only with --crash-points/--crash-steps/--skip-coord-decision/\
          --cross-pct/--shard-scenario/--ckpt-ms/--mode/--net-loss/--net-dup/--net-delay-us/\
-         --partitions/--net-sabotage (the sharded campaign has its own sabotage and oracle, \
-         and runs the built-in vcutter path)";
+         --partitions/--net-sabotage/--replicas/--rep-quorum/--kill-nodes/--kill-steps/\
+         --failover-sabotage (the sharded campaign has its own sabotage and oracle, and runs \
+         the built-in vcutter path)";
       exit 2
     end;
     run_shard_campaigns seed campaigns duration shards shard_scenario cross_pct crash_points
       ckpt_ms crash_steps skip_coord_decision mode ndomains net_loss net_dup net_delay_us
-      partitions net_sabotage
+      partitions net_sabotage replicas rep_quorum kill_nodes kill_steps failover_sabotage
   end
   else if crash_steps > 0 || skip_coord_decision then begin
     prerr_endline "chaos: --crash-steps/--skip-coord-decision need --shards";
+    exit 2
+  end
+  else if replicas > 0 || rep_quorum > 0 || kill_nodes || kill_steps > 0
+          || failover_sabotage <> None
+  then begin
+    prerr_endline
+      "chaos: the --replicas/--kill-nodes/--kill-steps/--failover-sabotage surface needs \
+       --shards";
     exit 2
   end
   else if net_loss > 0. || net_dup > 0. || net_delay_us > 0 || partitions > 0
@@ -834,6 +908,57 @@ let cmd =
              makes a participant roll back yet ack the commit (the cross-shard atomicity \
              oracle must fail the run). A clean exit is a harness bug.")
   in
+  let replicas =
+    Arg.(
+      value & opt int 0
+      & info [ "replicas" ] ~docv:"R"
+          ~doc:
+            "Sharded campaigns: give every shard R backup nodes mirroring the primary's WAL \
+             by typed CRC'd frame shipping, with commits acknowledged only at the \
+             sync-replication quorum, lease-based deterministic failover on node death, and \
+             the no-committed-loss / no-split-brain / bounded-failover-lag oracles armed \
+             (0 = the replication layer is absent and the campaign is byte-identical to the \
+             unreplicated driver).")
+  in
+  let rep_quorum =
+    Arg.(
+      value & opt int 0
+      & info [ "rep-quorum" ] ~docv:"Q"
+          ~doc:
+            "Sync-replication quorum, counting the primary (0 = a majority of replicas+1). \
+             Q=1 acknowledges on the primary alone — safe only against backup deaths.")
+  in
+  let kill_nodes =
+    Arg.(
+      value & flag
+      & info [ "kill-nodes" ]
+          ~doc:
+            "Draw a seeded whole-node kill/revive plan per campaign (victims drawn per \
+             arrival): dead primaries expire their lease and the highest-caught-up backup is \
+             promoted under a bumped fencing epoch; every acknowledged commit must survive.")
+  in
+  let kill_steps =
+    Arg.(
+      value & opt int 0
+      & info [ "kill-steps" ] ~docv:"N"
+          ~doc:
+            "Sharded replicated campaigns: schedule N node kills at seeded global \
+             replication-step indices — death lands exactly between a ship/ack/quorum \
+             step's intent and its effect.")
+  in
+  let failover_sabotage =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "failover-sabotage" ] ~docv:"MODE"
+          ~doc:
+            "Replication sabotage: $(b,ack-before-replicate) acknowledges commits before any \
+             frame ships, so a primary kill loses acknowledged commits (no-committed-loss \
+             must fail the run); $(b,stale-primary-writes) revives a fenced ex-primary that \
+             claims the shard and fabricates commit acks under its old epoch \
+             (no-split-brain/no-committed-loss must fail the run). A clean exit is a \
+             harness bug.")
+  in
   Cmd.v
     (Cmd.info "chaos" ~doc:"Seeded fault-injection campaigns with online invariant checking.")
     Term.(
@@ -842,6 +967,7 @@ let cmd =
       $ stalls $ zombie_llts $ no_watchdog $ require_containment $ trace_out $ metrics_out
       $ mode $ ndomains $ skip_publish_fence $ shards $ shard_scenario $ cross_pct
       $ crash_steps $ skip_coord_decision $ vbuffer $ gc_backend $ gc_sabotage
-      $ net_loss $ net_dup $ net_delay_us $ partitions $ net_sabotage)
+      $ net_loss $ net_dup $ net_delay_us $ partitions $ net_sabotage $ replicas
+      $ rep_quorum $ kill_nodes $ kill_steps $ failover_sabotage)
 
 let () = exit (Cmd.eval cmd)

@@ -25,6 +25,8 @@ let net_sabotage_of_string = function
 
 type outcome = Committed of Clock.time | Net_abort of Clock.time
 
+exception Shard_down of int
+
 (* Everything the coordinator/participant choreography says now rides
    the bus. [Abort_done] and the prepare votes are in-memory protocol
    traffic only — they never touch a WAL, matching the synchronous
@@ -96,6 +98,13 @@ type t = {
   mutable indoubt_max : Clock.time; (* longest prepared->resolved residence *)
   mutable indoubt_sum : Clock.time;
   mutable indoubt_n : int;
+  (* --- replication (None = unreplicated; every path below is then
+     untouched, keeping the single-copy run byte-identical) --- *)
+  mutable repl : Replica.t option;
+  poisoned : (int, unit) Hashtbl.t; (* open txns that lost writes to a failover *)
+  fence_at : Clock.time array; (* per shard: last promotion time (0 = never) *)
+  acked_tbl : (int, int * int list) Hashtbl.t; (* tid -> (cts, parts) acked to the client *)
+  mutable unacked : int; (* locally committed, never acked (quorum missed) *)
 }
 
 let shard_of t ~rid = rid mod t.n
@@ -104,7 +113,19 @@ let global_rid t ~sid ~local = (local * t.n) + sid
 let local_records ~shards ~records ~sid = (records - sid + shards - 1) / shards
 
 let svc t = t.n (* epoch/control service endpoint *)
-let passthrough t = Net_fault.is_none t.net_cfg && t.net_sabotage = None
+
+let passthrough t =
+  Net_fault.is_none t.net_cfg && t.net_sabotage = None && t.repl = None
+
+(* Replication seams: with no replica layer attached every one of these
+   is the identity, and the commit paths reduce to the single-copy
+   code. *)
+let shard_up t s = match t.repl with None -> true | Some r -> Replica.shard_up r ~sid:s
+
+let rep_sync t ~s ~now =
+  match t.repl with None -> `Quorum | Some r -> Replica.replicate r ~sid:s ~now
+
+let record_acked t ~tid ~cts parts = Hashtbl.replace t.acked_tbl tid (cts, parts)
 
 let step t s =
   t.steps <- t.steps + 1;
@@ -162,8 +183,19 @@ let apply_commit_at t ~s ~coord ~gid ~cts ~now =
             resolve_indoubt_residence t ~s ~tid:gid ~now;
             Hashtbl.replace t.done_t.(s) gid ();
             step t (Applied { tid = gid; shard = s });
-            Bus.send t.net ~src:s ~dst:coord ~now (Ack_msg { gid; shard = s }))
+            (* Participant apply replicates lazily: the decision is
+               already quorum-durable at the coordinator, so a backup
+               missing this frame recovers it through the termination
+               query. A kill inside this ship still must not ack. *)
+            ignore (rep_sync t ~s ~now);
+            if shard_up t s then
+              Bus.send t.net ~src:s ~dst:coord ~now (Ack_msg { gid; shard = s }))
   end
+  else if t.repl <> None && shard_up t s then
+    (* Already resolved here — possibly by a promotion-time restart
+       whose ack the coordinator never saw. Re-acking on the duplicate
+       decision is how the coordinator gets to forget. *)
+    Bus.send t.net ~src:s ~dst:coord ~now (Ack_msg { gid; shard = s })
 
 let apply_abort_at t ~s ~coord ~gid ~ats ~now =
   if not (Hashtbl.mem t.done_t.(s) gid) then begin
@@ -181,6 +213,10 @@ let all_acked t ~gid parts = List.for_all (fun s -> Hashtbl.mem t.acks (gid, s))
 
 let handle t ~ep ~now ~src msg =
   let s = ep in
+  (* A dead shard processes nothing: its primary is gone and the
+     promoted successor rebuilds protocol state from the device. *)
+  if not (shard_up t s) then ()
+  else
   match msg with
   | Prepare_req { tid; coord; parts } ->
       if not (Hashtbl.mem t.done_t.(s) tid) then begin
@@ -190,8 +226,12 @@ let handle t ~ep ~now ~src msg =
           Hashtbl.replace t.prepared_at.(s) tid now;
           step t (Prepared { tid; shard = s })
         end;
-        (* Re-voting on a duplicate request is how a lost vote heals. *)
-        Bus.send t.net ~src:s ~dst:coord ~now (Prepare_ok { tid; shard = s })
+        (* Re-voting on a duplicate request is how a lost vote heals.
+           Under replication the vote is a durability promise, so it is
+           withheld until the prepare frame itself is quorum-replicated
+           — and never given by a shard that died during that ship. *)
+        if rep_sync t ~s ~now = `Quorum && shard_up t s then
+          Bus.send t.net ~src:s ~dst:coord ~now (Prepare_ok { tid; shard = s })
       end
   | Prepare_ok { tid; shard } -> Hashtbl.replace t.votes (tid, shard) ()
   | Decision_commit { gid; cts } -> apply_commit_at t ~s ~coord:src ~gid ~cts ~now
@@ -329,6 +369,11 @@ let create ?costs ?driver_config ?(flavor = `Pg) ?(net = Net_fault.none) ?net_rt
       indoubt_max = 0;
       indoubt_sum = 0;
       indoubt_n = 0;
+      repl = None;
+      poisoned = Hashtbl.create 16;
+      fence_at = Array.make n 0;
+      acked_tbl = Hashtbl.create 256;
+      unacked = 0;
     }
   in
   for ep = 0 to n - 1 do
@@ -420,12 +465,20 @@ let begin_txn t ~now =
   let txn = Txn_manager.begin_txn t.mgr ~now in
   (txn, now + t.costs.Costs.txn_begin)
 
-let read t txn ~rid ~now =
+(* A transaction that began before shard [s]'s last failover holds a
+   snapshot of the dead primary's timeline; the promoted engine cannot
+   honestly serve it (its versions may be gone). Fenced like a down
+   shard: the worker aborts and retries on the new timeline. *)
+let fenced t (txn : Txn.t) ~s = txn.Txn.begin_time < t.fence_at.(s)
+
+let read t (txn : Txn.t) ~rid ~now =
   let s = shard_of t ~rid in
+  if (not (shard_up t s)) || fenced t txn ~s then raise (Shard_down s);
   t.shards.(s).Shard.engine.Engine.read txn ~rid:(local_rid t ~rid) ~now
 
 let write t (txn : Txn.t) ~rid ~payload ~now =
   let s = shard_of t ~rid in
+  if (not (shard_up t s)) || fenced t txn ~s then raise (Shard_down s);
   let tid = txn.Txn.tid in
   (* First touch of this shard: log the per-shard Txn_begin, so a crash
      before any outcome leaves an honest shard-local loser. *)
@@ -489,8 +542,9 @@ let abort_cross t (txn : Txn.t) ~tid ~parts ~now =
   in
   let coord = List.hd parts in
   (* Informational only — absence of a decision already means abort.
-     Never forced. *)
-  ignore (Wal.log t.shards.(coord).Shard.wal ~at:now (Wal_record.Coord_abort { gid = tid }));
+     Never forced, and never written through a detached device. *)
+  if shard_up t coord then
+    ignore (Wal.log t.shards.(coord).Shard.wal ~at:now (Wal_record.Coord_abort { gid = tid }));
   Hashtbl.replace t.aborted_all tid ats;
   Hashtbl.replace t.txn_of tid txn;
   Hashtbl.replace t.pending_aborts tid
@@ -501,26 +555,73 @@ let abort_cross t (txn : Txn.t) ~tid ~parts ~now =
     parts;
   now + t.costs.Costs.txn_commit
 
+let abort t (txn : Txn.t) ~now =
+  let tid = txn.Txn.tid in
+  match take_participants t tid with
+  | [] ->
+      Txn_manager.abort t.mgr txn ~now;
+      now + t.costs.Costs.txn_commit
+  | [ s ] -> t.shards.(s).Shard.engine.Engine.abort txn ~now
+  | parts -> abort_cross t txn ~tid ~parts ~now
+
 let commit_checked t (txn : Txn.t) ~now =
   let tid = txn.Txn.tid in
+  if Hashtbl.mem t.poisoned tid then begin
+    (* A shard holding this transaction's un-replicated writes failed
+       over: those writes do not exist on the promoted timeline, so the
+       only honest outcome is a clean global abort. *)
+    Hashtbl.remove t.poisoned tid;
+    Net_abort (abort t txn ~now)
+  end
+  else
   match take_participants t tid with
   | [] ->
       (* Read-only: commit in the shared order; no shard logged a
          begin, so no shard's recovery will ever ask about it. *)
       Txn_manager.commit t.mgr txn ~now;
       Committed (now + t.costs.Costs.txn_commit)
-  | [ s ] ->
+  | [ s ] -> (
       (* One participant: plain single-shard durability, no 2PC — and
          no fabric, so single-shard traffic keeps committing under any
          partition. *)
-      t.single_commits <- t.single_commits + 1;
-      Committed (t.shards.(s).Shard.engine.Engine.commit txn ~now)
+      match t.repl with
+      | None ->
+          t.single_commits <- t.single_commits + 1;
+          Committed (t.shards.(s).Shard.engine.Engine.commit txn ~now)
+      | Some _ when not (shard_up t s) ->
+          t.net_aborts <- t.net_aborts + 1;
+          Net_abort (t.shards.(s).Shard.engine.Engine.abort txn ~now)
+      | Some _ -> (
+          let at = t.shards.(s).Shard.engine.Engine.commit txn ~now in
+          (* The commit frame is forced locally; the client may only
+             hear "committed" once it is quorum-durable and the shard
+             survived the ship. *)
+          match rep_sync t ~s ~now with
+          | `Quorum when shard_up t s ->
+              t.single_commits <- t.single_commits + 1;
+              let cts =
+                match Commit_log.commit_ts_of (Txn_manager.commit_log t.mgr) tid with
+                | Some c -> c
+                | None -> 0
+              in
+              record_acked t ~tid ~cts [ s ];
+              Committed at
+          | _ ->
+              t.unacked <- t.unacked + 1;
+              Net_abort at))
   | parts -> (
       (* Presumed-abort 2PC over the fabric. The coordinator is the
          smallest participant; each durable micro-step still fires the
          [on_step] hook — the crash campaign's way of dying at every
          point of the protocol. *)
       let coord = List.hd parts in
+      if t.repl <> None && not (List.for_all (fun s -> shard_up t s) parts) then begin
+        (* Fail fast without entering phase 1: some participant has no
+           primary right now. Prepared nobody, promised nobody. *)
+        t.net_aborts <- t.net_aborts + 1;
+        Net_abort (abort_cross t txn ~tid ~parts ~now)
+      end
+      else begin
       let tref = ref now in
       Hashtbl.replace t.inflight tid ();
       Hashtbl.replace t.txn_of tid txn;
@@ -571,31 +672,44 @@ let commit_checked t (txn : Txn.t) ~now =
             pc_parts = parts;
             pc_next = !tref + t.resend_period;
           };
-        (* Phase 2: the decision is durable, so delivery may be lazy —
-           each send is fire-and-forget here, and the resend sweep plus
-           the termination protocol guarantee eventual application.
-           Inline (no-fault) delivery applies, acks and forgets in
-           exactly the synchronous order. *)
-        List.iter
-          (fun s ->
-            Bus.send t.net ~src:coord ~dst:s ~now:!tref (Decision_commit { gid = tid; cts }))
-          parts;
-        t.cross_commits <- t.cross_commits + 1;
-        Metrics.bump "twopc.cross_commits";
-        Committed (!tref + ((1 + List.length parts) * t.costs.Costs.txn_commit))
+        (* The decision frame must itself survive the coordinator: only
+           a quorum-replicated [Coord_commit] may be acknowledged. A
+           coordinator that dies during this ship leaves the decision
+           durable on its own disk at most — the promoted timeline
+           rules, and in-doubt participants terminate against it. *)
+        let rep_ok =
+          match t.repl with
+          | None -> true
+          | Some _ -> rep_sync t ~s:coord ~now:!tref = `Quorum && shard_up t coord
+        in
+        if rep_ok then begin
+          (* Phase 2: the decision is durable, so delivery may be lazy —
+             each send is fire-and-forget here, and the resend sweep plus
+             the termination protocol guarantee eventual application.
+             Inline (no-fault) delivery applies, acks and forgets in
+             exactly the synchronous order. *)
+          List.iter
+            (fun s ->
+              Bus.send t.net ~src:coord ~dst:s ~now:!tref (Decision_commit { gid = tid; cts }))
+            parts;
+          t.cross_commits <- t.cross_commits + 1;
+          Metrics.bump "twopc.cross_commits";
+          record_acked t ~tid ~cts parts;
+          Committed (!tref + ((1 + List.length parts) * t.costs.Costs.txn_commit))
+        end
+        else begin
+          (* No client ack and no eager phase 2. Whatever the promoted
+             timeline says becomes the outcome: if the decision survived
+             it will be re-armed and resent; if not, presumed abort
+             terminates every prepared participant. *)
+          t.unacked <- t.unacked + 1;
+          Net_abort (!tref + ((1 + List.length parts) * t.costs.Costs.txn_commit))
+        end
+      end
       end)
 
 let commit t txn ~now =
   match commit_checked t txn ~now with Committed at -> at | Net_abort at -> at
-
-let abort t (txn : Txn.t) ~now =
-  let tid = txn.Txn.tid in
-  match take_participants t tid with
-  | [] ->
-      Txn_manager.abort t.mgr txn ~now;
-      now + t.costs.Costs.txn_commit
-  | [ s ] -> t.shards.(s).Shard.engine.Engine.abort txn ~now
-  | parts -> abort_cross t txn ~tid ~parts ~now
 
 (* The resolver sweep: deliver due traffic, resend unacknowledged
    decisions, and run the termination protocol for in-doubt
@@ -612,7 +726,7 @@ let tick t ~now =
     in
     List.iter
       (fun (gid, pc) ->
-        if now >= pc.pc_next then begin
+        if now >= pc.pc_next && shard_up t pc.pc_coord then begin
           pc.pc_next <- now + t.resend_period;
           List.iter
             (fun s ->
@@ -630,7 +744,7 @@ let tick t ~now =
     in
     List.iter
       (fun (gid, pa) ->
-        if now >= pa.pa_next then begin
+        if now >= pa.pa_next && shard_up t pa.pa_coord then begin
           pa.pa_next <- now + t.resend_period;
           List.iter
             (fun s ->
@@ -647,8 +761,10 @@ let tick t ~now =
        catch the fabricated commit from the logs. *)
     for s = 0 to t.n - 1 do
       let prepared =
-        Hashtbl.fold (fun tid coord acc -> (tid, coord) :: acc) t.prepared_now.(s) []
-        |> List.sort compare
+        if not (shard_up t s) then [] (* a dead shard asks no questions *)
+        else
+          Hashtbl.fold (fun tid coord acc -> (tid, coord) :: acc) t.prepared_now.(s) []
+          |> List.sort compare
       in
       List.iter
         (fun (tid, coord) ->
@@ -699,6 +815,9 @@ let quiesce t ~now =
          actually reach zero. *)
       if !i mod 8 = 0 then ignore (broadcast ~now:!tn t);
       incr i;
+      (* Pending failovers must complete for doubt to drain: promotion
+         restores the coordinator the termination queries need. *)
+      (match t.repl with Some r -> Replica.sweep r ~now:!tn | None -> ());
       tick t ~now:!tn
     done;
     !tn
@@ -720,7 +839,8 @@ let check_indoubt_liveness t ~now =
   for s = 0 to t.n - 1 do
     Hashtbl.iter
       (fun tid coord ->
-        if Bus.reachable t.net ~src:s ~dst:coord ~now then begin
+        if Bus.reachable t.net ~src:s ~dst:coord ~now && shard_up t s && shard_up t coord
+        then begin
           let born =
             match Hashtbl.find_opt t.prepared_at.(s) tid with Some a -> a | None -> now
           in
@@ -808,7 +928,8 @@ let clear_inflight t =
   Hashtbl.reset t.pending_aborts;
   Array.iter Hashtbl.reset t.prepared_at;
   Array.iter Hashtbl.reset t.query_at;
-  Array.iter Hashtbl.reset t.done_t
+  Array.iter Hashtbl.reset t.done_t;
+  Hashtbl.reset t.poisoned
 
 let crash_all ?keep t =
   (* Whole-system power loss: every shard's device keeps only what it
@@ -825,6 +946,11 @@ let crash_all ?keep t =
   clear_inflight t
 
 let restart_all t ~now =
+  (* Safe re-entry: drop whatever volatile residue is still around, so
+     a restart that was not preceded by a crash (or a second restart
+     after one) starts from the same clean slate. After [crash_all]
+     every one of these tables is already empty and this is a no-op. *)
+  clear_inflight t;
   (* One shared snapshot order: reset it once, then let each shard merge
      its recovered outcomes in ([crash_recover ~reset:false] inside the
      engine restart). Ascending sid order means a coordinator restarts
@@ -846,3 +972,127 @@ let restart_all t ~now =
      under-pruning — snapshot until heal). *)
   ignore (broadcast ~now t);
   infos
+
+(* Failover fixup, called by the replica layer at the end of each
+   promotion: the shard's device was just adopted from the
+   highest-caught-up backup and fenced under a new epoch. Everything
+   volatile the old primary held is gone with it; everything the
+   promoted timeline proves is rebuilt from the device — a restart,
+   scoped to one shard of a running group. *)
+let promote_fixup t ~sid:s ~now =
+  (* 0. Fence the old timeline's readers: any transaction that began
+     before this instant holds a snapshot the promoted engine may no
+     longer be able to serve — {!read}/{!write} turn it away. *)
+  t.fence_at.(s) <- now;
+  (* 1. Worker transactions with un-replicated writes on this shard are
+     poisoned: those writes do not exist on the promoted timeline, so
+     their only honest outcome is a global abort at commit time. *)
+  Hashtbl.iter
+    (fun tid l -> if List.mem s !l then Hashtbl.replace t.poisoned tid ())
+    t.participants;
+  (* 2. Volatile per-shard protocol state died with the old primary —
+     including the coordinator role's resend queues, which are re-armed
+     below from what the surviving log proves. *)
+  Hashtbl.reset t.prepared_now.(s);
+  Hashtbl.reset t.prepared_at.(s);
+  Hashtbl.reset t.query_at.(s);
+  Hashtbl.reset t.decisions_now.(s);
+  Hashtbl.reset t.done_t.(s);
+  let drop_where tbl pred =
+    Hashtbl.fold (fun gid v acc -> if pred v then (gid, v) :: acc else acc) tbl []
+  in
+  List.iter
+    (fun (gid, pc) ->
+      List.iter (fun x -> Hashtbl.remove t.acks (gid, x)) pc.pc_parts;
+      Hashtbl.remove t.pending_commits gid)
+    (drop_where t.pending_commits (fun pc -> pc.pc_coord = s));
+  List.iter
+    (fun (gid, _) -> Hashtbl.remove t.pending_aborts gid)
+    (drop_where t.pending_aborts (fun pa -> pa.pa_coord = s));
+  (* 3. Read the promoted timeline. Always honest (CRC on); in-doubt
+     entries resolve against the other shards' devices, which the
+     replica layer has already settled (its promotion pass adopts every
+     failing-over device before any fixup runs). *)
+  let wal = t.shards.(s).Shard.wal in
+  let resolve ~tid ~coord =
+    if coord < 0 || coord >= t.n then None
+    else
+      let exp =
+        Wal_recovery.expect
+          (Wal_recovery.analyze ~check_crc:true t.shards.(coord).Shard.wal)
+      in
+      List.assoc_opt tid exp.Wal_recovery.decisions
+  in
+  let analysis = Wal_recovery.analyze ~check_crc:true wal in
+  let exp = Wal_recovery.expect ~resolve analysis in
+  (* 4. Decisions the dead primary made that never reached a quorum:
+     the shared commit log says committed, the surviving timeline says
+     the transaction never happened. Flip them back with compensating
+     aborts before the engine replays the log. *)
+  List.iter
+    (fun tid ->
+      match Txn_manager.rollback_unreplicated t.mgr ~tid with
+      | Some ats -> ignore (Wal.log wal ~at:now (Wal_record.Txn_abort { tid; ats }))
+      | None -> ())
+    exp.Wal_recovery.losers;
+  ignore (Wal.fsync wal ~at:now ());
+  (* 5. Restart the engine on the promoted timeline. Shared manager:
+     outcomes merge in, first (durable) outcome winning. *)
+  (match t.shards.(s).Shard.engine.Engine.restart with
+  | Some restart -> ignore (restart ~now)
+  | None -> assert false);
+  (* 6. Every transaction with a durable prepare on the new timeline
+     was locally resolved by that restart — applied if a decision
+     survived somewhere, rolled back as presumed-abort otherwise. Mark
+     them done so late decision frames re-ack instead of re-applying. *)
+  let mark tid = Hashtbl.replace t.done_t.(s) tid () in
+  (match analysis.Wal_recovery.checkpoint with
+  | Some (_, ck) -> List.iter (fun (tid, _) -> mark tid) ck.Checkpoint.prepared
+  | None -> ());
+  let forgotten = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Wal_record.t) ->
+      match r.Wal_record.payload with
+      | Wal_record.Prepare { tid; _ } -> mark tid
+      | Wal_record.Forget { gid } -> Hashtbl.replace forgotten gid ()
+      | Wal_record.Coord_abort { gid } ->
+          if not (Hashtbl.mem t.aborted_all gid) then Hashtbl.replace t.aborted_all gid 0
+      | _ -> ())
+    analysis.Wal_recovery.records;
+  (* 7. Re-arm the coordinator role: durable decisions without a Forget
+     still owe phase 2 — resends and re-acks converge them. *)
+  List.iter
+    (fun (gid, cts) ->
+      if not (Hashtbl.mem forgotten gid) then begin
+        Hashtbl.replace t.decided_all gid cts;
+        Hashtbl.replace t.decisions_now.(s) gid cts
+      end)
+    exp.Wal_recovery.decisions;
+  List.iter
+    (fun (r : Wal_record.t) ->
+      match r.Wal_record.payload with
+      | Wal_record.Coord_commit { gid; cts; shards = parts }
+        when (not (Hashtbl.mem forgotten gid)) && not (Hashtbl.mem t.pending_commits gid)
+        ->
+          Hashtbl.replace t.pending_commits gid
+            { pc_coord = s; pc_cts = cts; pc_parts = parts; pc_next = now + t.resend_period }
+      | _ -> ())
+    analysis.Wal_recovery.records;
+  Metrics.bump "twopc.promote_fixups"
+
+let attach_replicas t r =
+  if t.repl <> None then invalid_arg "Shard_group.attach_replicas: already attached";
+  if Replica.shard_count r <> t.n then
+    invalid_arg "Shard_group.attach_replicas: shard count mismatch";
+  t.repl <- Some r;
+  Replica.set_on_promote r (fun ~sid ~node:_ ~now -> promote_fixup t ~sid ~now)
+
+let replicas t = t.repl
+
+let acked t =
+  Hashtbl.fold (fun tid (cts, parts) acc -> (tid, cts, parts) :: acc) t.acked_tbl []
+  |> List.sort compare
+
+let acked_count t = Hashtbl.length t.acked_tbl
+let unacked t = t.unacked
+let shard_is_up = shard_up

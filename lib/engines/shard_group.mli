@@ -81,7 +81,15 @@ type outcome =
   | Committed of Clock.time
   | Net_abort of Clock.time
       (** cross-shard fail-fast: a participant was unreachable past the
-          retry budget; the transaction was globally aborted *)
+          retry budget; the transaction was globally aborted — or, with
+          replicas attached, the commit missed its replication quorum
+          and the client must not be told "committed" *)
+
+exception Shard_down of int
+(** Raised by {!read} / {!write} when the target shard's replicated
+    primary is dead and no successor has been promoted yet. Workers
+    back off and retry after the failover window; commits on dead
+    shards do not raise — they return [Net_abort]. *)
 
 type t
 
@@ -245,3 +253,43 @@ val set_skip_coord_decision : t -> bool -> unit
 val set_net_sabotage : t -> net_sabotage option -> unit
 (** Arm a network-layer sabotage mode (see {!net_sabotage}); [None]
     restores honesty. *)
+
+(** {1 Replication}
+
+    With a {!Replica} layer attached, every shard's device is held by
+    the current primary of an [R+1]-node group and a commit is
+    acknowledged to the client only once its decision frame is
+    quorum-replicated: single-shard commits gate on their own group,
+    cross-shard commits additionally gate the coordinator's
+    [Coord_commit]; prepare votes are withheld until the prepare frame
+    is quorum-durable (so a vote is a promise that survives failover).
+    Dead shards drop all protocol traffic and fail commits fast;
+    promotion runs a single-shard restart on the adopted timeline
+    ({e promote fixup}): poison open writers that lost un-replicated
+    writes, flip decided-but-unreplicated commits back to aborted with
+    compensating records, replay the device, and re-arm the
+    coordinator's unforgotten decisions for resend. Without an attached
+    layer every path below is the identity and the group's observable
+    behaviour is byte-identical to the unreplicated build. *)
+
+val attach_replicas : t -> Replica.t -> unit
+(** Wire a replica layer (built over {!wals}) into the commit and vote
+    paths and install the promotion fixup. Raises [Invalid_argument]
+    if already attached or the shard counts disagree. *)
+
+val replicas : t -> Replica.t option
+val shard_is_up : t -> int -> bool
+(** Whether the shard currently has a live primary (always true
+    unreplicated). *)
+
+val acked : t -> (int * int * int list) list
+(** The client-visible ledger: [(tid, cts, participants)] for every
+    commit acknowledged as [Committed], sorted by tid. What
+    {!Invariant.check_no_committed_loss} audits the logs against; the
+    commit timestamp lets the oracle skip entries that have aged past a
+    log's bounded checkpoint window. *)
+
+val acked_count : t -> int
+val unacked : t -> int
+(** Commits that reached local durability but missed their quorum and
+    were reported [Net_abort] — never entered the acked ledger. *)

@@ -9,6 +9,8 @@ type action =
   | Cleaner_stall
   | Llt_zombie
   | Collab_delay
+  | Node_kill
+  | Node_revive
 
 let action_name = function
   | Crash -> "crash"
@@ -21,6 +23,8 @@ let action_name = function
   | Cleaner_stall -> "cleaner-stall"
   | Llt_zombie -> "llt-zombie"
   | Collab_delay -> "collab-delay"
+  | Node_kill -> "node-kill"
+  | Node_revive -> "node-revive"
 
 let all_actions =
   [
@@ -34,6 +38,8 @@ let all_actions =
     Cleaner_stall;
     Llt_zombie;
     Collab_delay;
+    Node_kill;
+    Node_revive;
   ]
 
 type event = { at : Clock.time; action : action }
@@ -78,8 +84,9 @@ let make_process ~seed action rate =
 let create ?(seed = 0) ?(events = []) ?(crash_rate = 0.) ?(abort_rate = 0.)
     ?(wal_error_rate = 0.) ?(flush_fail_rate = 0.) ?(evict_storm_rate = 0.)
     ?(space_storm_rate = 0.) ?(wal_bitflip_rate = 0.) ?(cleaner_stall_rate = 0.)
-    ?(llt_zombie_rate = 0.) ?(collab_delay_rate = 0.) ?(crash_points = [])
-    ?(torn_tail = false) ?(check_period = Clock.ms 100) () =
+    ?(llt_zombie_rate = 0.) ?(collab_delay_rate = 0.) ?(node_kill_rate = 0.)
+    ?(node_revive_rate = 0.) ?(crash_points = []) ?(torn_tail = false)
+    ?(check_period = Clock.ms 100) () =
   (* Newer actions are drawn strictly after the older ones so plans that
      do not use them keep the exact sub-seed sequence (and therefore
      injection times) they had before those actions existed: [Wal_bitflip]
@@ -96,6 +103,8 @@ let create ?(seed = 0) ?(events = []) ?(crash_rate = 0.) ?(abort_rate = 0.)
       (Cleaner_stall, cleaner_stall_rate);
       (Llt_zombie, llt_zombie_rate);
       (Collab_delay, collab_delay_rate);
+      (Node_kill, node_kill_rate);
+      (Node_revive, node_revive_rate);
     ]
   in
   (* Derive one independent stream per process from the plan seed. *)
@@ -179,6 +188,18 @@ let random_net ?(loss = 0.1) ?(dup = 0.05) ?(delay_us = 150) ?(partitions = 1)
         { Net_fault.p_name = Printf.sprintf "p%d" i; isolated; from_t; heal_t })
   in
   Net_fault.make ~loss ~dup ~max_delay:(Clock.us delay_us) ~partitions:parts ~seed ()
+
+(* Seeded whole-node fault plan for the replication layer. Its own seed
+   tweak keeps the arrival draws independent of both [random] (process
+   faults) and [random_net] (fabric faults) built from the same
+   campaign seed. Revives arrive a bit faster than kills so the
+   one-dead-per-group budget keeps freeing up. *)
+let random_nodes ~seed () =
+  let rng = Rng.create (seed lxor 0x6e6f6465) in
+  let draw lo hi = lo +. (Rng.float rng *. (hi -. lo)) in
+  let node_kill_rate = draw 2. 8. in
+  let node_revive_rate = draw 4. 12. in
+  create ~seed ~node_kill_rate ~node_revive_rate ()
 
 let seed t = t.plan_seed
 let check_period t = t.check_period

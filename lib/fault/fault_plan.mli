@@ -37,6 +37,12 @@ type action =
       (** the cutter dawdles between installing its footprint and
           marking completion, stretching the sorter's spin-wait window
           in the collaboration protocol *)
+  | Node_kill
+      (** kill one whole replica node (the runner draws the victim):
+          dead silence, lease expiry, deterministic failover *)
+  | Node_revive
+      (** bring the oldest dead node back — honestly state-transferred,
+          or stale under the stale-primary sabotage *)
 
 val action_name : action -> string
 val all_actions : action list
@@ -58,6 +64,8 @@ val create :
   ?cleaner_stall_rate:float ->
   ?llt_zombie_rate:float ->
   ?collab_delay_rate:float ->
+  ?node_kill_rate:float ->
+  ?node_revive_rate:float ->
   ?crash_points:int list ->
   ?torn_tail:bool ->
   ?check_period:Clock.time ->
@@ -121,6 +129,14 @@ val random_net :
     from {!random}'s, so pairing both from one seed keeps either's
     draws stable. Raises [Invalid_argument] for [shards < 2], a
     non-positive horizon, or a negative partition count. *)
+
+val random_nodes : seed:int -> unit -> t
+(** A seeded whole-node fault plan for replicated-shard campaigns:
+    kill and revive arrival rates drawn from a stream forked off
+    [seed] with its own tweak (independent of {!random} and
+    {!random_net} at the same seed). Revives are drawn a bit more
+    frequent than kills, so the one-dead-node-per-group budget keeps
+    freeing up over a long soak. *)
 
 val seed : t -> int
 val check_period : t -> Clock.time

@@ -477,15 +477,20 @@ let remove_prune_audit (d : Driver.t) =
 (* ------------------------------------------------------------------ *)
 (* Cross-shard 2PC atomicity *)
 
-let check_cross_shard_atomicity ?clog wals =
-  let wals = List.sort (fun (a, _) (b, _) -> compare a b) wals in
+let analyze_shard_logs wals =
+  List.sort (fun (a, _) (b, _) -> compare a b) wals
+  |> List.map (fun (sid, wal) -> (sid, Wal_recovery.analyze ~check_crc:true wal))
+
+let check_cross_shard_atomicity ?clog ?analyses wals =
   (* Honest analysis of every shard's log, with in-doubt transactions
      resolved exactly the way a recovering participant must: a durable
      Coord_commit anywhere in the coordinator's trustworthy prefix (or
      its checkpoint's decision window) means commit; silence means
-     presumed abort. *)
+     presumed abort. Analysis cost is linear in the logs, so a periodic
+     sweep that runs several log-level checks should analyze once
+     ({!analyze_shard_logs}) and share. *)
   let analyses =
-    List.map (fun (sid, wal) -> (sid, Wal_recovery.analyze ~check_crc:true wal)) wals
+    match analyses with Some a -> a | None -> analyze_shard_logs wals
   in
   let decisions : (int * int, int) Hashtbl.t = Hashtbl.create 32 in
   List.iter
@@ -601,4 +606,112 @@ let check_cross_shard_atomicity ?clog wals =
                    tid max_floor)
           | _ -> ())
         (Commit_log.entries clog));
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Replicated shards: zero committed loss *)
+
+let check_no_committed_loss ?analyses ~acked wals =
+  (* The contract of a quorum-acknowledged commit: once the client was
+     told "committed", every node-kill/failover schedule must leave the
+     transaction committed on every participant's surviving log. The
+     audit is log-only and honest — the same analysis a recovering
+     shard runs, with in-doubt entries resolved against the durable
+     decision table — checked against the client-visible acked ledger.
+     An ack the logs cannot justify is a loss, whether it came from an
+     ack-before-replicate lie or from a fenced stale primary's
+     fabricated ledger entries. *)
+  let analyses =
+    match analyses with Some a -> a | None -> analyze_shard_logs wals
+  in
+  (* Re-anchor each log at its last checkpoint NOT written by a
+     failover restart. A promotion's recovery checkpoint snapshots the
+     global oracle frontier an instant after the device was adopted —
+     taken at face value it would instantly archive (and so hide)
+     exactly the commits a dishonest replication path can lose.
+     Anchoring before the [Promote] frame replays the adopted suffix
+     instead, so an acked commit missing from that suffix stays
+     demandable until the next ordinary checkpoint absorbs the epoch —
+     and the sweep grid visits that checkpoint's instant first. *)
+  let anchored =
+    List.map
+      (fun (sid, (a : Wal_recovery.analysis)) ->
+        let anchor = ref None and promoted = ref false in
+        List.iter
+          (fun (r : Wal_record.t) ->
+            match r.Wal_record.payload with
+            | Wal_record.Promote _ -> promoted := true
+            | Wal_record.Ckpt_end { snapshot } ->
+                if !promoted then promoted := false
+                else (
+                  match Checkpoint.of_json snapshot with
+                  | Ok ck -> anchor := Some (r.Wal_record.lsn, ck)
+                  | Error _ -> ())
+            | _ -> ())
+          a.Wal_recovery.records;
+        (sid, { a with Wal_recovery.checkpoint = !anchor }))
+      analyses
+  in
+  let decisions : (int * int, int) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (sid, (a : Wal_recovery.analysis)) ->
+      (match a.Wal_recovery.checkpoint with
+      | Some (_, ck) ->
+          List.iter
+            (fun (gid, cts) -> Hashtbl.replace decisions (sid, gid) cts)
+            ck.Checkpoint.decisions
+      | None -> ());
+      List.iter
+        (fun (r : Wal_record.t) ->
+          match r.Wal_record.payload with
+          | Wal_record.Coord_commit { gid; cts; _ } ->
+              Hashtbl.replace decisions (sid, gid) cts
+          | _ -> ())
+        a.Wal_recovery.records)
+    analyses;
+  let resolve ~tid ~coord = Hashtbl.find_opt decisions (coord, tid) in
+  let committed_on : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 8 in
+  (* Per-log answerability horizon: the fuzzy checkpoint keeps only a
+     bounded commit-log window, so outcomes whose commit timestamp
+     predates the snapshot's oracle frontier may legitimately be
+     archived out of the analysis. A commit timestamp at or above the
+     frontier was drawn after the snapshot was captured, so its frame
+     is strictly after the checkpoint record and must survive in the
+     log — those are the entries the oracle is entitled to demand. *)
+  let horizon : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (sid, (a : Wal_recovery.analysis)) ->
+      let e = Wal_recovery.expect ~resolve a in
+      let tbl = Hashtbl.create 256 in
+      List.iter (fun (tid, _) -> Hashtbl.replace tbl tid ()) e.Wal_recovery.committed;
+      List.iter
+        (fun (tid, _) -> Hashtbl.replace tbl tid ())
+        e.Wal_recovery.resolved_commits;
+      Hashtbl.replace committed_on sid tbl;
+      Hashtbl.replace horizon sid
+        (match a.Wal_recovery.checkpoint with
+        | Some (_, ck) -> ck.Checkpoint.oracle_next
+        | None -> 0))
+    anchored;
+  let acc = ref [] in
+  List.iter
+    (fun (tid, cts, parts) ->
+      List.iter
+        (fun sid ->
+          match Hashtbl.find_opt committed_on sid with
+          | None ->
+              acc :=
+                v "no-committed-loss"
+                  "t%d was acknowledged on shard %d but no such shard log exists" tid sid
+                :: !acc
+          | Some tbl ->
+              let h = Option.value ~default:0 (Hashtbl.find_opt horizon sid) in
+              if cts >= h && not (Hashtbl.mem tbl tid) then
+                acc :=
+                  v "no-committed-loss"
+                    "t%d (cts=%d) was acknowledged to the client with participant shard %d, but the surviving logs do not commit it there"
+                    tid cts sid
+                  :: !acc)
+        parts)
+    (List.sort compare acked);
   List.rev !acc

@@ -128,8 +128,18 @@ val install_prune_audit :
 
 val remove_prune_audit : Driver.t -> unit
 
+val analyze_shard_logs :
+  (int * Wal.t) list -> (int * Wal_recovery.analysis) list
+(** Honest (CRC-on) analysis of every shard's log, sorted by shard id —
+    the shared, linear-cost input of the log-level oracles below. A
+    periodic sweep that runs more than one of them should analyze once
+    and pass the result through [?analyses]. *)
+
 val check_cross_shard_atomicity :
-  ?clog:Commit_log.t -> (int * Wal.t) list -> violation list
+  ?clog:Commit_log.t ->
+  ?analyses:(int * Wal_recovery.analysis) list ->
+  (int * Wal.t) list ->
+  violation list
 (** The sharded deployment's headline oracle, over the [(shard id, wal)]
     logs of every shard. Analyzes each log honestly (CRC on), builds the
     durable coordinator-decision table from every trustworthy prefix,
@@ -147,3 +157,30 @@ val check_cross_shard_atomicity :
     - {b recovery-phantom} — with [?clog] (immediately after a group
       restart), a committed timestamp at or above every shard's durable
       frontier. *)
+
+val check_no_committed_loss :
+  ?analyses:(int * Wal_recovery.analysis) list ->
+  acked:(int * int * int list) list ->
+  (int * Wal.t) list ->
+  violation list
+(** The replicated deployment's headline oracle: every commit
+    acknowledged to a client must survive every node-kill/failover
+    schedule. [acked] is the client-visible ledger — [(tid, cts,
+    participant shards)] for each acknowledged commit, the union of
+    {!Shard_group.acked} and any sabotage-fabricated
+    {!Replica.stale_acked} entries — and the [(shard id, wal)] list
+    holds each shard's authoritative (post-failover) device. Each log
+    is analyzed honestly with in-doubt entries resolved against the
+    durable decision table, exactly as {!check_cross_shard_atomicity}
+    does; a ["no-committed-loss"] violation is reported for every
+    acknowledged [(tid, shard)] the surviving logs fail to commit.
+
+    Fuzzy checkpoints keep only a bounded commit-log window, so the
+    oracle demands an entry only while its commit timestamp sits at or
+    above the participant log's last snapshot frontier
+    ([Checkpoint.oracle_next]) — below it, the outcome has legitimately
+    aged into the snapshot image. A loss is therefore visible from the
+    kill that caused it until a later checkpoint's frontier passes it,
+    which spans several online sweeps; the periodic
+    [ack-before-replicate] and [stale-primary-writes] campaigns must
+    provably trip this check. *)

@@ -173,6 +173,45 @@ let inject_raw t repr =
       Vec.push d.frames { lsn; repr };
       lsn)
 
+(* ------------------------------------------------------------------ *)
+(* Log shipping: the replica-side mirror face.                         *)
+
+let frames_from t ~lsn =
+  match t.durable with
+  | None -> []
+  | Some d ->
+      Vec.fold_left (fun acc f -> if f.lsn > lsn then (f.lsn, f.repr) :: acc else acc) [] d.frames
+      |> List.rev
+
+let receive t ~lsn ~repr =
+  with_durable t "receive" (fun d ->
+      if lsn < d.next_lsn then `Duplicate
+      else if lsn > d.next_lsn then `Gap
+      else begin
+        Vec.push d.frames { lsn; repr };
+        d.next_lsn <- lsn + 1;
+        (* A shipped frame is durable on the mirror as soon as it is
+           acknowledged: backups replay from their own device at
+           promotion, so the ack must imply survival. *)
+        d.flushed_lsn <- lsn;
+        t.total <- t.total + String.length repr;
+        t.records <- t.records + 1;
+        `Applied
+      end)
+
+let adopt t ~src =
+  match src.durable with
+  | None -> invalid_arg "Wal.adopt: source durability not enabled"
+  | Some sd ->
+      with_durable t "adopt" (fun d ->
+          Vec.clear d.frames;
+          Vec.iter (fun f -> Vec.push d.frames f) sd.frames;
+          d.next_lsn <- sd.next_lsn;
+          d.flushed_lsn <- sd.flushed_lsn;
+          t.total <- src.total;
+          t.records <- src.records;
+          t.shard <- src.shard)
+
 let corrupt_frame t ~lsn f =
   with_durable t "corrupt_frame" (fun d ->
       let corrupted = ref false in

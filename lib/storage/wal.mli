@@ -98,6 +98,29 @@ val inject_raw : t -> string -> int
     bypassing the append counters — the harness's torn-sector model.
     Returns the claimed LSN. *)
 
+(** {1 Log shipping} *)
+
+val frames_from : t -> lsn:int -> (int * string) list
+(** Surviving frames strictly beyond [lsn], in LSN order — the
+    primary-side read for shipping a backup everything past its
+    replication cursor. *)
+
+val receive : t -> lsn:int -> repr:string -> [ `Applied | `Duplicate | `Gap ]
+(** Mirror-side append of a shipped frame. Contiguous ([lsn] is exactly
+    the next expected) frames are appended and immediately count as
+    flushed — a backup acknowledges only what would survive its own
+    crash. Frames at an already-seen LSN are [`Duplicate]s (idempotent
+    receive under a duplicating bus); frames beyond the next expected
+    LSN are a [`Gap] and refused, so a mirror is always an exact prefix
+    of its primary's device. *)
+
+val adopt : t -> src:t -> unit
+(** Make [t]'s device an exact copy of [src]'s: frames, LSN cursor,
+    flushed frontier, shard tag and byte accounting. State transfer —
+    used at promotion to seed the new primary's device from the
+    best mirror, and to resync the surviving backups onto the new
+    primary's timeline. *)
+
 val corrupt_frame : t -> lsn:int -> (string -> string) -> bool
 (** In-place bit-flip injection on a surviving frame; [false] if no
     frame has that LSN. *)

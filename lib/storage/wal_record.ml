@@ -26,6 +26,8 @@ type payload =
   | Coord_abort of { gid : int }
   | Ack of { gid : int; shard : int }
   | Forget of { gid : int }
+  | Promote of { epoch : int; node : int }
+  | Rep_ack of { epoch : int; node : int; upto : int }
 
 type t = { lsn : int; at : int; shard : int; payload : payload }
 
@@ -45,6 +47,8 @@ let kind_name = function
   | Coord_abort _ -> "2pc-abort"
   | Ack _ -> "2pc-ack"
   | Forget _ -> "2pc-forget"
+  | Promote _ -> "rep-promote"
+  | Rep_ack _ -> "rep-ack"
 
 let payload_fields = function
   | Txn_begin { tid } -> [ ("tid", Jsonx.Int tid) ]
@@ -85,6 +89,9 @@ let payload_fields = function
   | Coord_abort { gid } -> [ ("gid", Jsonx.Int gid) ]
   | Ack { gid; shard } -> [ ("gid", Jsonx.Int gid); ("shard", Jsonx.Int shard) ]
   | Forget { gid } -> [ ("gid", Jsonx.Int gid) ]
+  | Promote { epoch; node } -> [ ("epoch", Jsonx.Int epoch); ("node", Jsonx.Int node) ]
+  | Rep_ack { epoch; node; upto } ->
+      [ ("epoch", Jsonx.Int epoch); ("node", Jsonx.Int node); ("upto", Jsonx.Int upto) ]
 
 let body_json t =
   (* The shard tag is emitted only when nonzero: shard 0 is the
@@ -205,6 +212,15 @@ let payload_of_json kind obj =
   | "2pc-forget" ->
       let* gid = int_field "gid" obj in
       Ok (Forget { gid })
+  | "rep-promote" ->
+      let* epoch = int_field "epoch" obj in
+      let* node = int_field "node" obj in
+      Ok (Promote { epoch; node })
+  | "rep-ack" ->
+      let* epoch = int_field "epoch" obj in
+      let* node = int_field "node" obj in
+      let* upto = int_field "upto" obj in
+      Ok (Rep_ack { epoch; node; upto })
   | k -> Error (Printf.sprintf "unknown record kind %S" k)
 
 let decode ?(check_crc = true) repr =

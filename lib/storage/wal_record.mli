@@ -57,6 +57,16 @@ type payload =
   | Forget of { gid : int }
       (** All participants acked — the coordinator drops [gid] from its
           in-doubt table and need answer no more queries about it. *)
+  | Promote of { epoch : int; node : int }
+      (** Replication fencing marker: node [node] took over as this
+          shard's primary for replication epoch [epoch]. Forced to the
+          adopted log at promotion, so the new timeline durably records
+          where the old primary's authority ended — frames and votes
+          from earlier epochs are refused from here on. *)
+  | Rep_ack of { epoch : int; node : int; upto : int }
+      (** Primary-side note that backup [node] has durably mirrored the
+          log through LSN [upto] under epoch [epoch] — the ship/ack
+          watermark trail. Logged unforced; replay ignores it. *)
 
 type t = { lsn : int; at : int; shard : int; payload : payload }
 (** [shard] namespaces the frame: each shard's pipeline logs into its

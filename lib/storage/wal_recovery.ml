@@ -234,6 +234,10 @@ let expect ?resolve analysis =
            means abort, and acks/forgets only trim the coordinator's
            in-doubt table. *)
         see gid
+    | Wal_record.Promote _ | Wal_record.Rep_ack _ ->
+        (* Replication bookkeeping: fencing markers and ship/ack
+           watermarks carry no row state — replay skips them. *)
+        ()
     | Wal_record.Ckpt_begin | Wal_record.Ckpt_end _ ->
         (* Only the last complete checkpoint is the replay base; a
            trailing Ckpt_begin whose end was lost is ignored. *)

@@ -7,6 +7,7 @@ let record t ~tid status =
   if Hashtbl.mem t.table tid then invalid_arg "Commit_log.record: duplicate status";
   Hashtbl.replace t.table tid status
 
+let override t ~tid status = Hashtbl.replace t.table tid status
 let status t tid = Hashtbl.find_opt t.table tid
 
 let is_committed t tid =

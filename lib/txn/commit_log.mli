@@ -12,6 +12,13 @@ val create : unit -> t
 val record : t -> tid:Timestamp.t -> status -> unit
 (** Raises [Invalid_argument] if [tid] already has a status. *)
 
+val override : t -> tid:Timestamp.t -> status -> unit
+(** Replace (or create) a status unconditionally. Only the replica
+    promotion path may use this: a primary killed after deciding
+    locally but before quorum-replicating leaves a stale [Committed_at]
+    entry that the promoted timeline — on which the transaction never
+    happened — must flip back to aborted. *)
+
 val status : t -> Timestamp.t -> status option
 
 val is_committed : t -> Timestamp.t -> bool

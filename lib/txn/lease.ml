@@ -7,9 +7,9 @@
    randomness, no clock reads of its own), so arming it keeps a run a
    pure function of the seed. *)
 
-type kind = Short | Llt
+type kind = Short | Llt | Primary
 
-let kind_name = function Short -> "short" | Llt -> "llt"
+let kind_name = function Short -> "short" | Llt -> "llt" | Primary -> "primary"
 
 type config = { short_lease : Clock.time; llt_lease : Clock.time }
 
@@ -46,9 +46,17 @@ let config t = t.config
 
 let grant t ~tid ~kind ~now =
   let lease =
-    match kind with Short -> t.config.short_lease | Llt -> t.config.llt_lease
+    match kind with
+    | Short -> t.config.short_lease
+    | Llt -> t.config.llt_lease
+    | Primary -> invalid_arg "Lease.grant: primary leases take an explicit duration"
   in
   Hashtbl.replace t.entries tid { kind; lease; granted_at = now; last_progress = now };
+  t.grants <- t.grants + 1
+
+let grant_primary t ~tid ~lease ~now =
+  if lease <= 0 then invalid_arg "Lease.grant_primary: lease must be positive";
+  Hashtbl.replace t.entries tid { kind = Primary; lease; granted_at = now; last_progress = now };
   t.grants <- t.grants + 1
 
 let note_progress t ~tid ~now =

@@ -16,7 +16,7 @@
     watchdog must never have cancelled a transaction that made progress
     within its lease. *)
 
-type kind = Short | Llt
+type kind = Short | Llt | Primary
 
 val kind_name : kind -> string
 
@@ -40,7 +40,17 @@ val create : ?config:config -> unit -> t
 val config : t -> config
 
 val grant : t -> tid:Timestamp.t -> kind:kind -> now:Clock.time -> unit
-(** Start (or restart) a lease for [tid]; progress starts at [now]. *)
+(** Start (or restart) a lease for [tid]; progress starts at [now].
+    Raises for [Primary] — primary leases take an explicit duration
+    through {!grant_primary}. *)
+
+val grant_primary : t -> tid:Timestamp.t -> lease:Clock.time -> now:Clock.time -> unit
+(** Start (or renew) a {e primary authority} lease: the replication
+    layer keys these by shard id rather than transaction id. A live
+    primary renews by {!note_progress} heartbeats; heartbeat loss past
+    [lease] makes the shard promotable via {!expired}, and the old
+    holder's authority is fenced at promotion. Raises on a
+    non-positive [lease]. *)
 
 val note_progress : t -> tid:Timestamp.t -> now:Clock.time -> unit
 (** Record read/write progress; no-op for unknown tids. *)

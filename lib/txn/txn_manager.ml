@@ -68,10 +68,28 @@ let abort t (txn : Txn.t) ~now =
   finish t txn;
   let ts = Timestamp.next t.ts_oracle in
   txn.state <- Txn.Aborted;
-  Commit_log.record t.log ~tid:txn.tid (Commit_log.Aborted_at ts);
+  (* A failover may already have recorded this tid as a recovery loser
+     while the worker still held the handle; the durable outcome wins
+     and the worker's abort just retires the live entry. *)
+  if Commit_log.status t.log txn.tid = None then
+    Commit_log.record t.log ~tid:txn.tid (Commit_log.Aborted_at ts);
   ignore now;
   t.aborted <- t.aborted + 1;
   Metrics.bump "txn.aborts"
+
+let rollback_unreplicated t ~tid =
+  (* Promotion-time compensation: the old primary decided commit locally
+     but died before the decision reached a quorum, so on the promoted
+     timeline the transaction never committed. Flip the stale status to
+     aborted with a fresh timestamp so clog and WAL agree again. *)
+  match Commit_log.status t.log tid with
+  | Some (Commit_log.Committed_at _) ->
+      let ats = Timestamp.next t.ts_oracle in
+      Commit_log.override t.log ~tid (Commit_log.Aborted_at ats);
+      t.committed <- t.committed - 1;
+      t.aborted <- t.aborted + 1;
+      Some ats
+  | Some (Commit_log.Aborted_at _) | None -> None
 
 
 let reset_for_recovery t =

@@ -18,6 +18,18 @@ val commit : t -> Txn.t -> now:Clock.time -> unit
     transaction is not active. *)
 
 val abort : t -> Txn.t -> now:Clock.time -> unit
+(** Roll the transaction back and retire it from the live table. If a
+    failover already recorded a durable outcome for this tid (promotion
+    treats un-replicated open transactions as recovery losers), that
+    first outcome is kept and only the live entry is retired. *)
+
+val rollback_unreplicated : t -> tid:Timestamp.t -> Timestamp.t option
+(** Promotion-path compensation: if [tid] is recorded committed but the
+    decision never reached a replication quorum, flip it to aborted at a
+    fresh timestamp and return that timestamp so the caller can log the
+    compensating abort record. [None] if the tid is not recorded
+    committed (nothing to compensate). Only the replica promotion fixup
+    may call this. *)
 
 val reset_for_recovery : t -> unit
 (** Wipe the live table and commit log without restoring anything — the

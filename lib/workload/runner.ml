@@ -598,6 +598,10 @@ let run_sim ~engine ?faults ?watchdog (cfg : Exp_config.t) =
               in
               try_slot 0
             end
+        | Fault_plan.Node_kill | Fault_plan.Node_revive ->
+            (* Whole-node faults target the replicated shard deployment;
+               the single-instance runner has no nodes to kill. *)
+            ()
       in
       (* Crash-point schedule: power loss the first time the log's
          highest LSN reaches each point, checked at every dispatch
@@ -1307,6 +1311,10 @@ let run_domains ~engine ?faults ~domains ~skip_publish_fence (cfg : Exp_config.t
             | Fault_plan.Cleaner_stall | Fault_plan.Collab_delay | Fault_plan.Llt_zombie ->
                 (* Liveness injections only bite in watchdog-armed runs;
                    the ladder is Sim-only. *)
+                ()
+            | Fault_plan.Node_kill | Fault_plan.Node_revive ->
+                (* Whole-node faults belong to the replicated shard
+                   deployment, not this single-instance runner. *)
                 ())
       in
       let tick = Clock.us 250 in

@@ -14,6 +14,15 @@ type cfg = {
   net : Net_fault.config; (* message-fault model; none = transparent *)
   net_sabotage : Shard_group.net_sabotage option;
   net_tick : Clock.time; (* resolver sweep period (faulty configs only) *)
+  replicas : int; (* backups per shard; 0 = replication layer absent *)
+  rep_quorum : int option; (* sync-replication quorum; None = majority *)
+  rep_lease : Clock.time; (* primary authority lease *)
+  rep_sweep : Clock.time; (* failover scheduler period *)
+  rep_lag_bound : Clock.time; (* bounded-failover-lag budget *)
+  kill_steps : int list; (* global replication-step kill schedule, ascending *)
+  node_faults : Fault_plan.t option; (* Node_kill / Node_revive arrivals *)
+  revive_after : Clock.time; (* age at which dead nodes are revived *)
+  failover_sabotage : Replica.sabotage option;
 }
 
 let default ~shards base =
@@ -31,6 +40,20 @@ let default ~shards base =
     net = Net_fault.none;
     net_sabotage = None;
     net_tick = Clock.ms 1;
+    replicas = 0;
+    rep_quorum = None;
+    rep_lease = Clock.ms 50;
+    rep_sweep = Clock.ms 2;
+    rep_lag_bound = Clock.ms 250;
+    kill_steps = [];
+    node_faults = None;
+    (* Past the 50 ms lease: by default a killed node stays down long
+       enough for the lease to expire and a successor to be promoted,
+       so every kill exercises a real failover (and the fencing of the
+       returning node). Set below the lease to model fast reboots that
+       rescue the primary's timeline instead. *)
+    revive_after = Clock.ms 80;
+    failover_sabotage = None;
   }
 
 (* Anything that makes the fabric non-transparent: the resolver process
@@ -45,6 +68,18 @@ type net_digest = {
   nd_indoubt_max_us : int; (* longest in-doubt residence *)
 }
 
+type rep_digest = {
+  rd_replicas : int;
+  rd_quorum : int;
+  rd_kills : int;
+  rd_revives : int;
+  rd_promotions : int; (* summed over shards *)
+  rd_fencings : int; (* stale-epoch frames refused, summed *)
+  rd_stale_acks : int; (* sabotage-fabricated client acks *)
+  rd_restarts : int; (* engine restarts: crash recoveries + promotions *)
+  rd_lag_max_us : int; (* worst completed failover lag *)
+}
+
 type digest = {
   d_mode : string;
   d_shards : int;
@@ -55,6 +90,7 @@ type digest = {
   d_peak_space : int;
   d_throughput : float;
   d_net : net_digest option; (* absent for transparent-fabric runs *)
+  d_repl : rep_digest option; (* absent when replicas = 0 *)
 }
 
 let digest_to_json d =
@@ -72,7 +108,7 @@ let digest_to_json d =
     @
     (* The net block appears only when a fault config was active, so
        no-fault digests stay byte-identical to the pre-net layer. *)
-    match d.d_net with
+    (match d.d_net with
     | None -> []
     | Some n ->
         [
@@ -84,6 +120,27 @@ let digest_to_json d =
                 ("retried", Jsonx.Int n.nd_retried);
                 ("net_aborts", Jsonx.Int n.nd_net_aborts);
                 ("indoubt_max_us", Jsonx.Int n.nd_indoubt_max_us);
+              ] );
+        ])
+    @
+    (* Likewise the repl block: [--replicas 0] digests keep the exact
+       bytes of the unreplicated driver. *)
+    match d.d_repl with
+    | None -> []
+    | Some r ->
+        [
+          ( "repl",
+            Jsonx.Obj
+              [
+                ("replicas", Jsonx.Int r.rd_replicas);
+                ("quorum", Jsonx.Int r.rd_quorum);
+                ("kills", Jsonx.Int r.rd_kills);
+                ("revives", Jsonx.Int r.rd_revives);
+                ("promotions", Jsonx.Int r.rd_promotions);
+                ("fencings", Jsonx.Int r.rd_fencings);
+                ("stale_acks", Jsonx.Int r.rd_stale_acks);
+                ("restarts", Jsonx.Int r.rd_restarts);
+                ("failover_lag_max_us", Jsonx.Int r.rd_lag_max_us);
               ] );
         ])
 
@@ -118,6 +175,25 @@ let digest_diff ?(tol = 0.5) a b =
   | Some na, Some nb ->
       if not (close ~rel:4.0 ~abs:4096 na.nd_sent nb.nd_sent) then
         say "net sent: %d vs %d (beyond 5x + 4096)" na.nd_sent nb.nd_sent);
+  (* The replication layer must be configured identically in both modes;
+     kill/promotion volumes come from the same seeded plan but success
+     depends on interleaving-sensitive budget refusals, so only gross
+     disagreement counts. *)
+  (match (a.d_repl, b.d_repl) with
+  | None, None -> ()
+  | Some _, None | None, Some _ -> say "repl digest present in one mode only"
+  | Some ra, Some rb ->
+      if ra.rd_replicas <> rb.rd_replicas || ra.rd_quorum <> rb.rd_quorum then
+        say "repl config: %d/%d vs %d/%d" ra.rd_replicas ra.rd_quorum rb.rd_replicas
+          rb.rd_quorum;
+      if not (close ~rel:1.0 ~abs:8 ra.rd_kills rb.rd_kills) then
+        say "repl kills: %d vs %d (beyond 2x + 8)" ra.rd_kills rb.rd_kills;
+      if not (close ~rel:1.0 ~abs:8 ra.rd_promotions rb.rd_promotions) then
+        say "repl promotions: %d vs %d (beyond 2x + 8)" ra.rd_promotions rb.rd_promotions;
+      (* Fabricated client acks are a sabotage artifact: both modes run
+         the same sabotage knob, so presence must agree. *)
+      if (ra.rd_stale_acks = 0) <> (rb.rd_stale_acks = 0) then
+        say "repl stale_acks: %d vs %d" ra.rd_stale_acks rb.rd_stale_acks);
   List.rev !acc
 
 type result = {
@@ -137,6 +213,7 @@ type result = {
   net_aborts : int; (* cross-shard fail-fasts under partition/loss *)
   indoubt_max_us : int;
   indoubt_mean_us : float;
+  failover_lags_us : int list; (* completed failovers, oldest first *)
   digest : digest;
 }
 
@@ -144,7 +221,8 @@ exception Crash_now
 (* Raised by the 2PC step hook to die at an exact protocol point; caught
    by the owning worker, which then runs the whole-system restart. *)
 
-let make_digest ~mode ~shards ~commits ~conflicts ~cross ~violations ~peak ~tput ~net =
+let make_digest ~mode ~shards ~commits ~conflicts ~cross ~violations ~peak ~tput ~net ~rep
+    =
   {
     d_mode = mode;
     d_shards = shards;
@@ -155,7 +233,11 @@ let make_digest ~mode ~shards ~commits ~conflicts ~cross ~violations ~peak ~tput
     d_peak_space = peak;
     d_throughput = tput;
     d_net = net;
+    d_repl = rep;
   }
+
+let viols_of_pairs ps =
+  List.map (fun (invariant, detail) -> { Invariant.invariant; detail }) ps
 
 (* Net block + per-shard gauges, recorded only for active fault
    configs: transparent runs keep their pre-net report and digest
@@ -197,6 +279,136 @@ let record_net_gauges report g =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Replication plumbing shared by both modes. *)
+
+let rep_total f r ~shards =
+  let acc = ref 0 in
+  for sid = 0 to shards - 1 do
+    acc := !acc + f r ~sid
+  done;
+  !acc
+
+let rep_digest_of r ~replicas ~shards ~restarts =
+  let lag_max = List.fold_left (fun m (_, l) -> max m l) 0 (Replica.lags r) in
+  {
+    rd_replicas = replicas;
+    rd_quorum = Replica.quorum r;
+    rd_kills = Replica.kills r;
+    rd_revives = Replica.revives r;
+    rd_promotions = rep_total Replica.promotions r ~shards;
+    rd_fencings = rep_total Replica.fencings r ~shards;
+    rd_stale_acks = Replica.stale_ack_count r;
+    rd_restarts = restarts;
+    rd_lag_max_us = lag_max / 1000;
+  }
+
+(* Satellite: restart and promotion/fencing visibility is uniform across
+   modes — the same gauge names feed the Sim-vs-Domains differential. *)
+let record_rep_gauges report r ~shards ~restarts =
+  Fault_report.set_gauge report "rep-kills" (Replica.kills r);
+  Fault_report.set_gauge report "rep-revives" (Replica.revives r);
+  Fault_report.set_gauge report "recovery-restarts" restarts;
+  Fault_report.set_gauge report "rep-stale-acks" (Replica.stale_ack_count r);
+  for sid = 0 to shards - 1 do
+    Fault_report.set_gauge report
+      (Printf.sprintf "promotions-s%d" sid)
+      (Replica.promotions r ~sid);
+    Fault_report.set_gauge report
+      (Printf.sprintf "fencings-s%d" sid)
+      (Replica.fencings r ~sid);
+    Metrics.set_gauge
+      (Printf.sprintf "replica.promotions.s%d" sid)
+      (float_of_int (Replica.promotions r ~sid));
+    Metrics.set_gauge
+      (Printf.sprintf "replica.fencings.s%d" sid)
+      (float_of_int (Replica.fencings r ~sid))
+  done
+
+(* Arm the replication layer when configured: attach the group's devices
+   and install the kill-step hook. Steps are counted globally across
+   shards, and a scheduled kill lands between a step's intent and its
+   send — exactly the windows the acceptance campaigns probe. The hook
+   only marks nodes dead (never raises); the group's end-of-call
+   re-checks turn the death into refused votes and unacked commits. *)
+let setup_replicas (cfg : cfg) g =
+  if cfg.replicas = 0 then None
+  else begin
+    let r =
+      Replica.create ?quorum:cfg.rep_quorum ~lease:cfg.rep_lease ~replicas:cfg.replicas
+        ~wals:(Shard_group.wals g) ()
+    in
+    Shard_group.attach_replicas g r;
+    Replica.set_sabotage r cfg.failover_sabotage;
+    let kill_steps = ref cfg.kill_steps in
+    let steps = ref 0 in
+    Replica.set_on_step r (fun ~now step ->
+        incr steps;
+        match !kill_steps with
+        | p :: rest when !steps >= p -> (
+            kill_steps := rest;
+            let sid = Replica.rstep_sid step in
+            let victim =
+              match step with
+              | Replica.R_ack { node; _ } -> Some node
+              | Replica.R_ship _ | Replica.R_quorum _ | Replica.R_promote _ ->
+                  Replica.primary r ~sid
+            in
+            match victim with
+            | Some node -> ignore (Replica.kill r ~sid ~node ~now)
+            | None -> ())
+        | _ -> ());
+    Some r
+  end
+
+(* One failover-scheduler beat: plan-driven kills and revives (victims
+   drawn from the runner's own stream, never the workload's), age-based
+   revives so kill-step campaigns recover even without a revive process,
+   the lease sweep itself, and the online replication checks. Returns
+   the violation rows observed this beat. *)
+let failover_beat (cfg : cfg) r ~node_rng ~dead_since ~note ~now =
+  (match cfg.node_faults with
+  | None -> ()
+  | Some plan ->
+      List.iter
+        (fun a ->
+          match a with
+          | Fault_plan.Node_kill ->
+              let sid = Rng.int node_rng cfg.shards in
+              let node = Rng.int node_rng (cfg.replicas + 1) in
+              if Replica.kill r ~sid ~node ~now then note "node-kill"
+          | Fault_plan.Node_revive -> (
+              match Replica.dead_nodes r with
+              | (sid, node) :: _ ->
+                  if Replica.revive r ~sid ~node ~now then note "node-revive"
+              | [] -> ())
+          | _ -> ())
+        (Fault_plan.poll plan ~now));
+  let dead = Replica.dead_nodes r in
+  let stale =
+    Hashtbl.fold
+      (fun k (_ : Clock.time) acc -> if List.mem k dead then acc else k :: acc)
+      dead_since []
+  in
+  List.iter (Hashtbl.remove dead_since) stale;
+  List.iter
+    (fun (sid, node) ->
+      match Hashtbl.find_opt dead_since (sid, node) with
+      | None -> Hashtbl.replace dead_since (sid, node) now
+      | Some since ->
+          if now - since >= cfg.revive_after && Replica.revive r ~sid ~node ~now
+          then begin
+            Hashtbl.remove dead_since (sid, node);
+            note "node-revive"
+          end)
+    dead;
+  Replica.sweep r ~now;
+  Replica.check_no_split_brain r @ Replica.check_failover_lag r ~bound:cfg.rep_lag_bound ~now
+
+(* The client-visible commit ledger the loss oracle audits: everything
+   the group acknowledged plus anything a stale claimant fabricated. *)
+let rep_acked g r = Shard_group.acked g @ Replica.stale_acked r
+
+(* ------------------------------------------------------------------ *)
 (* Sim mode: deterministic discrete-event campaign with the full fault
    surface — LSN crash points, crash-at-every-2PC-step, torn tails. *)
 
@@ -206,7 +418,11 @@ let run_sim (cfg : cfg) =
   let g = Shard_group.create ~net:cfg.net ~shards:cfg.shards base.Exp_config.schema in
   Shard_group.set_skip_coord_decision g cfg.skip_coord_decision;
   Shard_group.set_net_sabotage g cfg.net_sabotage;
+  let repl = setup_replicas cfg g in
   let faulty = net_active cfg in
+  (* Replication makes the fabric non-transparent the same way net
+     faults do: the resolver must tick and the group must quiesce. *)
+  let active = faulty || repl <> None in
   let row = Exp_config.pattern_at base 0.0 in
   let router = Shard_router.create ~row ~shards:cfg.shards base.Exp_config.schema cfg.scenario in
   let sched = Scheduler.create () in
@@ -353,6 +569,13 @@ let run_sim (cfg : cfg) =
                 incr conflicts;
                 t := Shard_group.abort g txn ~now:!t;
                 Scheduler.Sleep_until !t
+            | Shard_group.Shard_down _ ->
+                (* A primaryless shard refused the operation. Abort and
+                   back off past one lease-expiry-plus-sweep window so
+                   the failover scheduler gets to promote before this
+                   worker offers load again. *)
+                t := Shard_group.abort g txn ~now:!t;
+                Scheduler.Sleep_until (!t + cfg.rep_lease + (2 * cfg.rep_sweep))
             | Crash_now ->
                 (* The 2PC step hook killed the system mid-commit. The
                    in-flight transaction (ours included) dies with it;
@@ -393,9 +616,18 @@ let run_sim (cfg : cfg) =
                 end
                 else begin
                   let rid = Shard_router.sample router rng in
-                  let _, t = Shard_group.read g txn ~rid ~now in
-                  incr llt_reads;
-                  Scheduler.Sleep_until t
+                  match Shard_group.read g txn ~rid ~now with
+                  | _, t ->
+                      incr llt_reads;
+                      Scheduler.Sleep_until t
+                  | exception Shard_group.Shard_down _ ->
+                      (* The shard died (or fenced this pre-failover
+                         snapshot): abort the scan and restart it fresh —
+                         holding the snapshot pinned forever would block
+                         pruning groupwide. *)
+                      state := None;
+                      let t = Shard_group.abort g txn ~now in
+                      Scheduler.Sleep_until (t + cfg.rep_lease + (2 * cfg.rep_sweep))
                 end)
       done)
     base.Exp_config.llts;
@@ -415,10 +647,59 @@ let run_sim (cfg : cfg) =
      the in-doubt termination protocol. Spawned only for active fault
      configs, so the transparent fabric adds no scheduler process (and
      keeps dispatch-probe crash timing byte-identical). *)
-  if faulty then
+  if active then
     Scheduler.spawn sched ~name:"net" ~at:cfg.net_tick (fun now ->
         (try Shard_group.tick g ~now with Crash_now -> do_crash_restart ~now);
         if now >= horizon then Scheduler.Finished else Scheduler.Sleep_until (now + cfg.net_tick));
+  (* The failover scheduler: node-fault plan polling, age-based revives,
+     lease sweeps / promotions, and the online replication checks. *)
+  (match repl with
+  | None -> ()
+  | Some r ->
+      let node_rng = Rng.create (base.Exp_config.seed lxor 0x6b696c6c) in
+      let dead_since = Hashtbl.create 8 in
+      Scheduler.spawn sched ~name:"failover" ~at:cfg.rep_sweep (fun now ->
+          let vs =
+            failover_beat cfg r ~node_rng ~dead_since
+              ~note:(Fault_report.note_fault report)
+              ~now
+          in
+          record_all ~at:now (viols_of_pairs vs);
+          if now >= horizon then Scheduler.Finished
+          else Scheduler.Sleep_until (now + cfg.rep_sweep)));
+  (* Periodic invariant sweep: per-shard catalogue plus the static
+     cross-shard 2PC checks (the latter catch a skipped decision with
+     no crash at all). *)
+  let spawn_invariants () =
+    Scheduler.spawn sched ~name:"invariants" ~at:cfg.check_period (fun now ->
+        Fault_report.note_check report;
+        Array.iter
+          (fun (sh : Shard.t) -> record_all ~at:now (Invariant.check_all sh.Shard.driver))
+          (Shard_group.shards g);
+        (* Log analysis is linear in the logs; one pass feeds every
+           log-level oracle of this sweep. *)
+        let wals = Shard_group.wals g in
+        let analyses = Invariant.analyze_shard_logs wals in
+        record_all ~at:now (Invariant.check_cross_shard_atomicity ~analyses wals);
+        (* The loss oracle runs continuously, not just at the end: an
+           acked commit missing from the surviving logs is a violation
+           at every sweep between the kill that lost it and the
+           checkpoint frontier that archives it. *)
+        (match repl with
+        | None -> ()
+        | Some r ->
+            record_all ~at:now
+              (Invariant.check_no_committed_loss ~analyses ~acked:(rep_acked g r) wals));
+        if now >= horizon then Scheduler.Finished else Scheduler.Sleep_until (now + cfg.check_period))
+  in
+  (* Replicated runs register the sweep before the checkpointer: their
+     periods share grid instants, and a sweep must observe each ordinary
+     checkpoint's instant before the checkpointer archives the epoch —
+     otherwise a loss from a promotion landing within one check period
+     of the checkpoint could be aged out unseen. Unreplicated runs keep
+     the historical registration order (dispatch order at shared
+     instants is part of their byte-stable behavior). *)
+  if cfg.check_period > 0 && repl <> None then spawn_invariants ();
   (* Fuzzy checkpoints, every shard in turn. *)
   if base.Exp_config.ckpt_period_s > 0. then begin
     let period = max 1 (Clock.seconds base.Exp_config.ckpt_period_s) in
@@ -437,17 +718,7 @@ let run_sim (cfg : cfg) =
       let s = Shard_group.sample g in
       if s.Engine.version_bytes > !peak_space then peak_space := s.Engine.version_bytes;
       if now >= horizon then Scheduler.Finished else Scheduler.Sleep_until (now + sample_period));
-  (* Periodic invariant sweep: per-shard catalogue plus the static
-     cross-shard 2PC checks (the latter catch a skipped decision with
-     no crash at all). *)
-  if cfg.check_period > 0 then
-    Scheduler.spawn sched ~name:"invariants" ~at:cfg.check_period (fun now ->
-        Fault_report.note_check report;
-        Array.iter
-          (fun (sh : Shard.t) -> record_all ~at:now (Invariant.check_all sh.Shard.driver))
-          (Shard_group.shards g);
-        record_all ~at:now (Invariant.check_cross_shard_atomicity (Shard_group.wals g));
-        if now >= horizon then Scheduler.Finished else Scheduler.Sleep_until (now + cfg.check_period));
+  if cfg.check_period > 0 && repl = None then spawn_invariants ();
   (* Crash points in global log position: power loss the first time the
      summed LSN reaches each point, checked at every dispatch. *)
   let crash_points = ref cfg.crash_points in
@@ -473,7 +744,7 @@ let run_sim (cfg : cfg) =
      off (a never-healing partition legitimately leaves residue; the
      liveness check below skips still-severed pairs). *)
   let endt =
-    if faulty && not engine_failed then Shard_group.quiesce g ~now:horizon else horizon
+    if active && not engine_failed then Shard_group.quiesce g ~now:horizon else horizon
   in
   if not engine_failed then Shard_group.finish g ~now:horizon;
   Array.iter (fun (sh : Shard.t) -> Invariant.remove_prune_audit sh.Shard.driver) (Shard_group.shards g);
@@ -482,15 +753,31 @@ let run_sim (cfg : cfg) =
   Array.iter
     (fun (sh : Shard.t) -> record_all ~at:horizon (Invariant.check_all sh.Shard.driver))
     (Shard_group.shards g);
-  record_all ~at:horizon (Invariant.check_cross_shard_atomicity (Shard_group.wals g));
-  if faulty then begin
-    let of_pairs ps =
-      List.map (fun (invariant, detail) -> { Invariant.invariant; detail }) ps
-    in
-    record_all ~at:endt (of_pairs (Shard_group.check_indoubt_liveness g ~now:endt));
-    record_all ~at:endt (of_pairs (Shard_group.check_epoch_lag g ~now:endt));
-    record_net_gauges report g
+  let final_wals = Shard_group.wals g in
+  let final_analyses = Invariant.analyze_shard_logs final_wals in
+  record_all ~at:horizon
+    (Invariant.check_cross_shard_atomicity ~analyses:final_analyses final_wals);
+  if active then begin
+    record_all ~at:endt (viols_of_pairs (Shard_group.check_indoubt_liveness g ~now:endt));
+    record_all ~at:endt (viols_of_pairs (Shard_group.check_epoch_lag g ~now:endt));
+    if faulty then record_net_gauges report g
   end;
+  (* Replication verdicts: split-brain and lag over the final node
+     state, and the loss oracle over the authoritative (post-failover)
+     devices against the full client-visible ack ledger. *)
+  let rep_restarts r =
+    List.length !recoveries + rep_total Replica.promotions r ~shards:cfg.shards
+  in
+  (match repl with
+  | None -> ()
+  | Some r ->
+      record_all ~at:endt (viols_of_pairs (Replica.check_no_split_brain r));
+      record_all ~at:endt
+        (viols_of_pairs (Replica.check_failover_lag r ~bound:cfg.rep_lag_bound ~now:endt));
+      record_all ~at:endt
+        (Invariant.check_no_committed_loss ~analyses:final_analyses
+           ~acked:(rep_acked g r) final_wals);
+      record_rep_gauges report r ~shards:cfg.shards ~restarts:(rep_restarts r));
   let final = Shard_group.sample g in
   if final.Engine.version_bytes > !peak_space then peak_space := final.Engine.version_bytes;
   Fault_report.set_gauge report "commits" !commits;
@@ -517,12 +804,23 @@ let run_sim (cfg : cfg) =
     net_aborts = Shard_group.net_aborts g;
     indoubt_max_us = Shard_group.max_indoubt_residence g / 1000;
     indoubt_mean_us = Shard_group.mean_indoubt_residence g /. 1000.;
+    failover_lags_us =
+      (match repl with
+      | None -> []
+      | Some r -> List.map (fun (_, l) -> l / 1000) (Replica.lags r));
     digest =
       make_digest ~mode:"sim" ~shards:cfg.shards ~commits:!commits ~conflicts:!conflicts
         ~cross:(Shard_group.cross_commits g)
         ~violations:(Fault_report.violation_count report)
         ~peak:!peak_space ~tput
-        ~net:(if faulty then Some (net_digest_of g) else None);
+        ~net:(if faulty then Some (net_digest_of g) else None)
+        ~rep:
+          (match repl with
+          | None -> None
+          | Some r ->
+              Some
+                (rep_digest_of r ~replicas:cfg.replicas ~shards:cfg.shards
+                   ~restarts:(rep_restarts r)));
   }
 
 (* ------------------------------------------------------------------ *)
@@ -544,7 +842,9 @@ let run_domains ~domains (cfg : cfg) =
   let g = Shard_group.create ~net:cfg.net ~shards:cfg.shards base.Exp_config.schema in
   Shard_group.set_skip_coord_decision g cfg.skip_coord_decision;
   Shard_group.set_net_sabotage g cfg.net_sabotage;
+  let repl = setup_replicas cfg g in
   let faulty = net_active cfg in
+  let active = faulty || repl <> None in
   let row = Exp_config.pattern_at base 0.0 in
   let router = Shard_router.create ~row ~shards:cfg.shards base.Exp_config.schema cfg.scenario in
   let horizon = Clock.seconds base.Exp_config.duration_s in
@@ -617,10 +917,16 @@ let run_domains ~domains (cfg : cfg) =
                      window before offering new load (back-pressure). *)
                   t := t';
                   Exec.Sleep_until (!t + Shard_group.net_indoubt_after g))
-            with Exit ->
-              Atomic.incr conflicts;
-              t := locked (fun () -> Shard_group.abort g txn ~now:!t);
-              Exec.Sleep_until !t))
+            with
+            | Exit ->
+                Atomic.incr conflicts;
+                t := locked (fun () -> Shard_group.abort g txn ~now:!t);
+                Exec.Sleep_until !t
+            | Shard_group.Shard_down _ ->
+                (* Primaryless shard: abort, back off past the failover
+                   window before offering new load. *)
+                t := locked (fun () -> Shard_group.abort g txn ~now:!t);
+                Exec.Sleep_until (!t + cfg.rep_lease + (2 * cfg.rep_sweep))))
   in
   for i = 0 to base.Exp_config.workers - 1 do
     spawn_worker i
@@ -651,9 +957,15 @@ let run_domains ~domains (cfg : cfg) =
                 end
                 else begin
                   let rid = Shard_router.sample router rng in
-                  let _, t = locked (fun () -> Shard_group.read g txn ~rid ~now) in
-                  Atomic.incr llt_reads;
-                  Exec.Sleep_until t
+                  match locked (fun () -> Shard_group.read g txn ~rid ~now) with
+                  | _, t ->
+                      Atomic.incr llt_reads;
+                      Exec.Sleep_until t
+                  | exception Shard_group.Shard_down _ ->
+                      (* Abort and restart the scan — see the Sim twin. *)
+                      state := None;
+                      let t = locked (fun () -> Shard_group.abort g txn ~now) in
+                      Exec.Sleep_until (t + cfg.rep_lease + (2 * cfg.rep_sweep))
                 end)
       done)
     base.Exp_config.llts;
@@ -666,10 +978,28 @@ let run_domains ~domains (cfg : cfg) =
   Exec.spawn exec ~name:"epoch" ~at:cfg.epoch_period (fun now ->
       ignore (locked (fun () -> Shard_group.broadcast ~now g));
       if now >= horizon then Exec.Finished else Exec.Sleep_until (now + cfg.epoch_period));
-  if faulty then
+  if active then
     Exec.spawn exec ~name:"net" ~at:cfg.net_tick (fun now ->
         locked (fun () -> Shard_group.tick g ~now);
         if now >= horizon then Exec.Finished else Exec.Sleep_until (now + cfg.net_tick));
+  (* The failover scheduler, serialized like every other group call.
+     Domains builds its report only after the run, so violations seen
+     mid-run are staged and replayed into it at the end. *)
+  let rep_viols : (Clock.time * Invariant.violation) list ref = ref [] in
+  (match repl with
+  | None -> ()
+  | Some r ->
+      let node_rng = Rng.create (base.Exp_config.seed lxor 0x6b696c6c) in
+      let dead_since = Hashtbl.create 8 in
+      Exec.spawn exec ~name:"failover" ~at:cfg.rep_sweep (fun now ->
+          locked (fun () ->
+              let vs =
+                failover_beat cfg r ~node_rng ~dead_since ~note:(fun _ -> ()) ~now
+              in
+              List.iter
+                (fun viol -> rep_viols := (now, viol) :: !rep_viols)
+                (viols_of_pairs vs));
+          if now >= horizon then Exec.Finished else Exec.Sleep_until (now + cfg.rep_sweep)));
   if base.Exp_config.ckpt_period_s > 0. then begin
     let period = max 1 (Clock.seconds base.Exp_config.ckpt_period_s) in
     Exec.spawn exec ~name:"checkpointer" ~at:period (fun now ->
@@ -690,7 +1020,7 @@ let run_domains ~domains (cfg : cfg) =
       if now >= horizon then Exec.Finished else Exec.Sleep_until (now + sample_period));
   ignore (Exec.run exec ~until:horizon);
   let endt =
-    if faulty then locked (fun () -> Shard_group.quiesce g ~now:horizon) else horizon
+    if active then locked (fun () -> Shard_group.quiesce g ~now:horizon) else horizon
   in
   locked (fun () -> Shard_group.finish g ~now:horizon);
   let report = Fault_report.create () in
@@ -703,15 +1033,30 @@ let run_domains ~domains (cfg : cfg) =
   Array.iter
     (fun (sh : Shard.t) -> record_all ~at:horizon (Invariant.check_all sh.Shard.driver))
     (Shard_group.shards g);
-  record_all ~at:horizon (Invariant.check_cross_shard_atomicity (Shard_group.wals g));
-  if faulty then begin
-    let of_pairs ps =
-      List.map (fun (invariant, detail) -> { Invariant.invariant; detail }) ps
-    in
-    record_all ~at:endt (of_pairs (Shard_group.check_indoubt_liveness g ~now:endt));
-    record_all ~at:endt (of_pairs (Shard_group.check_epoch_lag g ~now:endt));
-    record_net_gauges report g
+  let final_wals = Shard_group.wals g in
+  let final_analyses = Invariant.analyze_shard_logs final_wals in
+  record_all ~at:horizon
+    (Invariant.check_cross_shard_atomicity ~analyses:final_analyses final_wals);
+  if active then begin
+    record_all ~at:endt (viols_of_pairs (Shard_group.check_indoubt_liveness g ~now:endt));
+    record_all ~at:endt (viols_of_pairs (Shard_group.check_epoch_lag g ~now:endt));
+    if faulty then record_net_gauges report g
   end;
+  let rep_restarts r = rep_total Replica.promotions r ~shards:cfg.shards in
+  (match repl with
+  | None -> ()
+  | Some r ->
+      List.iter
+        (fun (at, { Invariant.invariant; detail }) ->
+          Fault_report.record report ~at ~invariant ~detail)
+        (List.rev !rep_viols);
+      record_all ~at:endt (viols_of_pairs (Replica.check_no_split_brain r));
+      record_all ~at:endt
+        (viols_of_pairs (Replica.check_failover_lag r ~bound:cfg.rep_lag_bound ~now:endt));
+      record_all ~at:endt
+        (Invariant.check_no_committed_loss ~analyses:final_analyses
+           ~acked:(rep_acked g r) final_wals);
+      record_rep_gauges report r ~shards:cfg.shards ~restarts:(rep_restarts r));
   let final = Shard_group.sample g in
   if final.Engine.version_bytes > Atomic.get peak_space then
     Atomic.set peak_space final.Engine.version_bytes;
@@ -733,15 +1078,37 @@ let run_domains ~domains (cfg : cfg) =
     net_aborts = Shard_group.net_aborts g;
     indoubt_max_us = Shard_group.max_indoubt_residence g / 1000;
     indoubt_mean_us = Shard_group.mean_indoubt_residence g /. 1000.;
+    failover_lags_us =
+      (match repl with
+      | None -> []
+      | Some r -> List.map (fun (_, l) -> l / 1000) (Replica.lags r));
     digest =
       make_digest ~mode:"domains" ~shards:cfg.shards ~commits:(Atomic.get commits)
         ~conflicts:(Atomic.get conflicts)
         ~cross:(Shard_group.cross_commits g)
         ~violations:(Fault_report.violation_count report)
         ~peak:(Atomic.get peak_space) ~tput
-        ~net:(if faulty then Some (net_digest_of g) else None);
+        ~net:(if faulty then Some (net_digest_of g) else None)
+        ~rep:
+          (match repl with
+          | None -> None
+          | Some r ->
+              Some
+                (rep_digest_of r ~replicas:cfg.replicas ~shards:cfg.shards
+                   ~restarts:(rep_restarts r)));
   }
 
 let run ?(mode = Sim) cfg =
   if cfg.shards < 1 then invalid_arg "Shard_runner.run: need at least one shard";
+  if cfg.replicas < 0 then invalid_arg "Shard_runner.run: negative replica count";
+  (* Whole-node kills and power-loss crashes do not compose: [Wal.crash]
+     truncates to the flushed prefix non-deterministically relative to
+     what backups already mirrored, leaving LSN gaps the contiguous
+     [Wal.receive] protocol is designed to refuse. *)
+  if cfg.replicas > 0 && (cfg.crash_points <> [] || cfg.crash_steps <> [] || cfg.torn_tail)
+  then invalid_arg "Shard_runner.run: crash faults are incompatible with replication";
+  if
+    cfg.replicas = 0
+    && (cfg.kill_steps <> [] || cfg.node_faults <> None || cfg.failover_sabotage <> None)
+  then invalid_arg "Shard_runner.run: node faults require replicas > 0";
   match mode with Sim -> run_sim cfg | Domains { domains } -> run_domains ~domains cfg

@@ -46,11 +46,30 @@ type cfg = {
   net : Net_fault.config;  (** message-fault model; {!Net_fault.none} = transparent *)
   net_sabotage : Shard_group.net_sabotage option;
   net_tick : Clock.time;  (** resolver sweep period (active fault configs only) *)
+  replicas : int;  (** backups per shard; 0 = replication layer absent *)
+  rep_quorum : int option;  (** sync-replication quorum; [None] = majority *)
+  rep_lease : Clock.time;  (** primary authority lease *)
+  rep_sweep : Clock.time;  (** failover scheduler period *)
+  rep_lag_bound : Clock.time;  (** bounded-failover-lag budget *)
+  kill_steps : int list;
+      (** kill a node of the step's shard when the global replication
+          step counter reaches each index, ascending — R_ship/R_quorum
+          steps kill the shard's primary, R_ack steps the acking backup *)
+  node_faults : Fault_plan.t option;
+      (** seeded [Node_kill]/[Node_revive] arrivals (other actions are
+          ignored); victims are drawn from the runner's own stream *)
+  revive_after : Clock.time;
+      (** age at which dead nodes are revived; the default exceeds the
+          lease so every kill runs a full failover — below the lease a
+          fast reboot rescues the dead primary's own timeline instead *)
+  failover_sabotage : Replica.sabotage option;
 }
 
 val default : shards:int -> Exp_config.t -> cfg
 (** Uniform routing, 30% cross-shard, 5 ms epochs, 50 ms sweeps, no
-    faults, transparent fabric, 1 ms resolver ticks. *)
+    faults, transparent fabric, 1 ms resolver ticks, no replication
+    (50 ms leases, 2 ms failover sweeps, a 250 ms lag budget and an
+    80 ms revive age once [replicas > 0]). *)
 
 type net_digest = {
   nd_sent : int;
@@ -58,6 +77,18 @@ type net_digest = {
   nd_retried : int;
   nd_net_aborts : int;  (** cross-shard fail-fasts *)
   nd_indoubt_max_us : int;  (** longest in-doubt residence *)
+}
+
+type rep_digest = {
+  rd_replicas : int;
+  rd_quorum : int;
+  rd_kills : int;
+  rd_revives : int;
+  rd_promotions : int;  (** summed over shards *)
+  rd_fencings : int;  (** stale-epoch frames refused, summed *)
+  rd_stale_acks : int;  (** sabotage-fabricated client acks *)
+  rd_restarts : int;  (** engine restarts: crash recoveries + promotions *)
+  rd_lag_max_us : int;  (** worst completed failover lag *)
 }
 
 type digest = {
@@ -73,6 +104,9 @@ type digest = {
       (** present iff a fault config or net sabotage was active — the
           JSON of a transparent run stays byte-identical to the
           pre-fabric driver *)
+  d_repl : rep_digest option;
+      (** present iff [replicas > 0] — unreplicated digests keep the
+          exact bytes of the pre-replication driver *)
 }
 
 val digest_to_json : digest -> Jsonx.t
@@ -102,7 +136,19 @@ type result = {
   net_aborts : int;  (** cross-shard transactions failed fast as unreachable *)
   indoubt_max_us : int;  (** longest prepared→resolved residence (µs) *)
   indoubt_mean_us : float;
+  failover_lags_us : int list;
+      (** completed failovers (kill → promotion), oldest first, µs *)
   digest : digest;
 }
 
 val run : ?mode:mode -> cfg -> result
+(** Raises [Invalid_argument] for a bad shard or replica count, for
+    crash faults combined with replication (power loss truncates the
+    device out from under the contiguous mirror protocol), or for node
+    faults / failover sabotage without [replicas > 0]. With
+    [replicas > 0] the failover scheduler runs in both modes: node
+    kills and revives from [node_faults] and [kill_steps], lease-based
+    promotions with engine restart and in-doubt recovery on the
+    promoted timeline, and the replication invariants
+    ([no-committed-loss], [no-split-brain], [bounded-failover-lag])
+    recorded continuously and at the end of the run. *)

@@ -464,6 +464,74 @@ let prop_duplicated_frames_idempotent =
       && a.Wal_recovery.losers = b.Wal_recovery.losers)
 
 (* -------------------------------------------------------------------- *)
+(* Satellite: partition-window edge cases, pinned as fixtures. The
+   window is [from_t, heal_t) — heal is exclusive, so a zero-length
+   window ([from_t = heal_t]) covers no instant at all, overlapping
+   windows isolating the same endpoint sever until the LAST heal edge,
+   and a heal scheduled before its own start is a config error. *)
+
+let zero_window at =
+  { Net_fault.p_name = "zero"; isolated = [ 1 ]; from_t = at; heal_t = at }
+
+let test_zero_length_window_never_severs () =
+  let c = Net_fault.make ~partitions:[ zero_window 100 ] ~seed:1 () in
+  List.iter
+    (fun now ->
+      check_bool "never active" false (Net_fault.active_at c ~now);
+      check_bool "never severed" true (Net_fault.severed c ~src:0 ~dst:1 ~now = None))
+    [ 0; 99; 100; 101; 1000 ];
+  check_int "still counts as the last heal edge" 100 (Net_fault.last_heal c)
+
+let test_overlapping_windows_same_endpoint () =
+  let w name from_t heal_t =
+    { Net_fault.p_name = name; isolated = [ 1 ]; from_t; heal_t }
+  in
+  (* Two overlapping cuts of endpoint 1: [100,300) and [200,400). The
+     first heal edge at 300 must NOT reconnect — the second window
+     still covers 300..399. *)
+  let c = Net_fault.make ~partitions:[ w "a" 100 300; w "b" 200 400 ] ~seed:1 () in
+  let sev now = Net_fault.severed c ~src:0 ~dst:1 ~now in
+  check_bool "before both" true (sev 99 = None);
+  check_str "first window" "a" (Option.get (sev 150));
+  check_str "overlap reports first match" "a" (Option.get (sev 250));
+  check_str "past a's heal, b still cuts" "b" (Option.get (sev 300));
+  check_str "late in b" "b" (Option.get (sev 399));
+  check_bool "healed only at the later edge" true (sev 400 = None);
+  check_int "last heal is the max edge" 400 (Net_fault.last_heal c);
+  (* Endpoints inside the isolated set still reach each other, and the
+     severance is bidirectional while any window is live. *)
+  check_bool "self-side unaffected" true (Net_fault.severed c ~src:1 ~dst:1 ~now:250 = None);
+  check_bool "bidirectional" true (Net_fault.severed c ~src:1 ~dst:0 ~now:350 <> None)
+
+let test_heal_before_start_rejected () =
+  (try
+     ignore
+       (Net_fault.make
+          ~partitions:[ { Net_fault.p_name = "bad"; isolated = [ 0 ]; from_t = 200; heal_t = 100 } ]
+          ~seed:1 ());
+     Alcotest.fail "heal before window start must be rejected"
+   with Invalid_argument _ -> ());
+  (* Healing exactly AT the window start is the zero-length window:
+     accepted, covers nothing. *)
+  let c = Net_fault.make ~partitions:[ zero_window 200 ] ~seed:1 () in
+  check_bool "accepted and inert" false (Net_fault.active_at c ~now:200)
+
+let test_zero_length_window_transparent () =
+  (* A full sharded campaign whose only fault is a zero-length window:
+     the fabric must drop nothing, sever nothing and abort nothing —
+     the degenerate schedule behaves like a healthy (though queued)
+     network. *)
+  let net = Net_fault.make ~partitions:[ zero_window (Clock.ms 50) ] ~seed:5 () in
+  let r = Shard_runner.run (net_campaign net) in
+  check_int "no violations" 0 (Fault_report.violation_count r.Shard_runner.report);
+  check_int "no fail-fast aborts" 0 r.Shard_runner.net_aborts;
+  match r.Shard_runner.digest.Shard_runner.d_net with
+  | None -> Alcotest.fail "net digest block expected (config is active)"
+  | Some n ->
+      check_int "zero drops" 0 n.Shard_runner.nd_dropped;
+      check_bool "traffic flowed" true (n.Shard_runner.nd_sent > 0)
+
+(* -------------------------------------------------------------------- *)
 
 let suites =
   [
@@ -508,4 +576,15 @@ let suites =
       ] );
     ( "net-recovery",
       [ QCheck_alcotest.to_alcotest prop_duplicated_frames_idempotent ] );
+    ( "net-partition-edges",
+      [
+        Alcotest.test_case "zero-length window never severs" `Quick
+          test_zero_length_window_never_severs;
+        Alcotest.test_case "overlapping windows heal at the later edge" `Quick
+          test_overlapping_windows_same_endpoint;
+        Alcotest.test_case "heal before start is rejected" `Quick
+          test_heal_before_start_rejected;
+        Alcotest.test_case "zero-length window is run-transparent" `Quick
+          test_zero_length_window_transparent;
+      ] );
   ]
